@@ -1,0 +1,61 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's figures (or an extension
+experiment) and prints the same rows/series the paper reports, besides
+timing the regeneration via pytest-benchmark.
+
+Fidelity: by default the simulated experiments run at reduced duration
+and trial counts so the whole benchmark suite finishes in minutes.  Set
+``REPRO_FULL=1`` to run the paper's exact protocol (120-second trials,
+ten per configuration) — expect a long run.
+
+Rendered tables are also written to ``benchmarks/results/*.txt``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FULL_FIDELITY = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: simulated-trial settings per fidelity mode
+TRIALS = 10 if FULL_FIDELITY else 3
+DURATION = 120.0 if FULL_FIDELITY else 20.0
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Print a rendered table and persist it under benchmarks/results/."""
+
+    def _publish(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish
+
+
+@pytest.fixture
+def publish_figure(publish):
+    """Publish a FigureResult: its table plus an ASCII chart."""
+    from repro.experiments.plotting import render_series
+
+    def _publish(name: str, figure, x_log: bool = False) -> None:
+        import math
+
+        plottable = [
+            s for s in figure.series if any(not math.isnan(v) for v in s.y)
+        ]
+        chart = render_series(plottable, title=figure.name, x_log=x_log)
+        publish(name, figure.table.render() + "\n\n" + chart)
+
+    return _publish

@@ -1,0 +1,48 @@
+"""Extension: estimating the transaction density T (the paper's closing
+future work: "more accurate ways of estimating the typical transaction
+density T").
+
+A passive observer estimates T from overheard introductions alone, using
+four estimators; all are compared against the omniscient time-weighted
+ground truth.
+"""
+
+from conftest import DURATION
+
+from repro.experiments.results import Table
+from repro.experiments.scenarios import density_estimation_accuracy
+
+ESTIMATORS = ("instantaneous", "ewma", "windowed", "littles_law")
+
+
+def test_density_estimation(benchmark, publish):
+    def run():
+        return [
+            density_estimation_accuracy(
+                n_senders=n, duration=DURATION, seed=100 + n
+            )
+            for n in (2, 5, 10)
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        "Extension: density estimation from overheard introductions",
+        ["senders", "ground truth T"] + [f"{e} (err)" for e in ESTIMATORS],
+    )
+    for result in results:
+        cells = [f"{result[e]:.2f} ({result[f'{e}_error']:.0%})" for e in ESTIMATORS]
+        table.add_row(
+            round(result["ground_truth"]), result["ground_truth"], *cells
+        )
+    publish("ext_density_estimation", table.render())
+
+    for result in results:
+        # The smoothed estimators land within 40% of the truth — good
+        # enough to size the 2T listening window.
+        for estimator in ("ewma", "windowed", "littles_law"):
+            assert result[f"{estimator}_error"] < 0.40
+        # The instantaneous count is the noisy baseline the others fix:
+        # a point-in-time reading can catch an idle gap, so only a loose
+        # bound holds.
+        assert result["instantaneous_error"] < 0.70

@@ -1,0 +1,69 @@
+"""Extension: RETRI identifiers for flood duplicate suppression.
+
+Section 6 frames RETRI as fitting any state "that has meaning over some
+time period and in some location"; a flooding mesh's dedup cache is
+exactly that.  This bench sweeps the flood-identifier size on a grid
+with many concurrent floods and compares against the traditional
+(source, seq) key:
+
+* undersized identifiers lose coverage to collision suppression;
+* adequately sized RETRI identifiers reach the same full coverage as
+  (source, seq) at a lower per-flood header cost — and the needed size
+  depends on how many floods share a dedup window, not on how many
+  nodes exist.
+"""
+
+from repro.experiments.results import Table
+from repro.experiments.scenarios import flooding_scenario
+
+RETRI_BITS = (4, 6, 8, 10, 12)
+STATIC_BITS = 14  # 6 source bits (36 nodes) + 8 sequence bits
+
+
+def run_sweep():
+    rows = []
+    for bits in RETRI_BITS:
+        rows.append((f"RETRI {bits}-bit", flooding_scenario(id_bits=bits, seed=5)))
+    rows.append(
+        (
+            f"static (src,seq) {STATIC_BITS}-bit",
+            flooding_scenario(id_bits=STATIC_BITS, static=True, seed=5),
+        )
+    )
+    return rows
+
+
+def test_flooding(benchmark, publish):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        "Extension: flood duplicate suppression on a 6x6 grid, 40 overlapping floods",
+        ["identifiers", "mean coverage", "full-coverage floods",
+         "transmissions", "header bits/flood"],
+    )
+    for name, r in rows:
+        table.add_row(name, r["mean_coverage"], r["full_coverage_fraction"],
+                      int(r["transmissions"]), r["header_bits_per_flood"])
+    publish("ext_flooding", table.render())
+
+    by_name = dict(rows)
+    static_name = f"static (src,seq) {STATIC_BITS}-bit"
+    coverages = [r["mean_coverage"] for _name, r in rows[:-1]]
+    # Coverage grows monotonically with identifier size...
+    assert all(a <= b + 0.02 for a, b in zip(coverages, coverages[1:]))
+    # ...reaching the static scheme's full coverage by 12 bits at no more
+    # than its cost (on this byte-padded radio the last 2 bits of saving
+    # round away; at 10 bits the saving is real)...
+    assert by_name["RETRI 12-bit"]["mean_coverage"] >= 0.99
+    assert by_name[static_name]["mean_coverage"] >= 0.99
+    assert (
+        by_name["RETRI 12-bit"]["header_bits_per_flood"]
+        <= by_name[static_name]["header_bits_per_flood"]
+    )
+    # ...while 10-bit identifiers already achieve ~full coverage at a
+    # strictly lower on-air header cost.
+    assert by_name["RETRI 10-bit"]["mean_coverage"] >= 0.95
+    assert (
+        by_name["RETRI 10-bit"]["header_bits_per_flood"]
+        < 0.80 * by_name[static_name]["header_bits_per_flood"]
+    )

@@ -1,0 +1,39 @@
+"""Extension: the hidden-terminal blind spot of listening (Section 3.2).
+
+The paper notes listening 'is not guaranteed to work perfectly: two
+nodes that are not in range of each other might pick the same identifier
+when trying to communicate with a receiver that lies in between them.'
+We measure it: the same workload on a full mesh (listening works) and a
+star whose leaves are mutually hidden (listening degenerates to uniform
+selection).
+"""
+
+from conftest import DURATION
+
+from repro.experiments.results import Table
+from repro.experiments.scenarios import hidden_terminal_experiment
+
+
+def test_hidden_terminal(benchmark, publish):
+    rates = benchmark.pedantic(
+        hidden_terminal_experiment,
+        kwargs=dict(id_bits=4, n_senders=5, duration=DURATION, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        "Extension: listening vs hidden terminals (H=4 bits, 5 senders)",
+        ["topology", "uniform", "listening", "listening gain"],
+    )
+    for topo in ("mesh", "star"):
+        uniform = rates[f"{topo}.uniform"]
+        listening = rates[f"{topo}.listening"]
+        gain = (uniform - listening) / uniform if uniform else float("nan")
+        table.add_row(topo, uniform, listening, gain)
+    publish("ext_hidden_terminal", table.render())
+
+    # Listening helps substantially on the mesh...
+    assert rates["mesh.listening"] < rates["mesh.uniform"] * 0.8
+    # ...and cannot help when senders are mutually hidden.
+    assert abs(rates["star.listening"] - rates["star.uniform"]) < 0.06

@@ -1,0 +1,101 @@
+"""Ablation: the listening heuristic's avoidance-window size.
+
+The paper fixes 'recently' at the most recent 2T transactions.  This
+ablation sweeps the window (0 = uniform selection, up to 4T) to show the
+paper's choice sits near the sweet spot: too small leaves collisions on
+the table, too large herds every sender into the same shrinking residual
+pool (which can even hurt at small identifier spaces).
+"""
+
+import random
+from dataclasses import replace
+
+from conftest import DURATION
+
+from repro.core.identifiers import IdentifierSpace, ListeningSelector
+from repro.experiments.harness import CollisionTrialConfig, run_collision_trial
+from repro.experiments.results import Table
+
+WINDOWS = (0, 2, 5, 10, 20, 40)
+ID_BITS = 6
+N_SENDERS = 5
+
+
+def run_sweep():
+    rows = []
+    for window in WINDOWS:
+        config = CollisionTrialConfig(
+            id_bits=ID_BITS,
+            n_senders=N_SENDERS,
+            duration=DURATION,
+            selector="listening",
+            seed=500 + window,
+        )
+        # Pin the window via a custom harness pass: monkey-free approach —
+        # run with listening and then override the selector factory through
+        # the config's topology hook is not available, so reproduce the
+        # harness's trial inline with fixed-window selectors.
+        result = _trial_with_fixed_window(config, window)
+        rows.append((window, result))
+    return rows
+
+
+def _trial_with_fixed_window(config, window):
+    """Same trial as the harness but with a fixed avoidance window."""
+    from repro.aff.driver import AffDriver
+    from repro.aff.instrumented import InstrumentedReceiver
+    from repro.apps.workloads import ContinuousStreamSender
+    from repro.radio.mac import AlohaMac
+    from repro.radio.medium import BroadcastMedium
+    from repro.radio.radio import Radio
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngRegistry
+    from repro.topology.graphs import FullMesh
+
+    rngs = RngRegistry(config.seed)
+    sim = Simulator()
+    medium = BroadcastMedium(
+        sim, FullMesh(range(config.n_senders + 1)),
+        rf_collisions=False, rng=rngs.stream("medium"),
+    )
+    receiver = InstrumentedReceiver(
+        Radio(medium, config.n_senders, max_frame_bytes=config.mtu_bytes,
+              mac=AlohaMac(gap=config.host_gap)),
+        id_bits=config.id_bits,
+        reassembly_timeout=config.reassembly_timeout,
+    )
+    for node in range(config.n_senders):
+        radio = Radio(medium, node, max_frame_bytes=config.mtu_bytes,
+                      mac=AlohaMac(gap=config.host_gap))
+        selector = ListeningSelector(
+            IdentifierSpace(config.id_bits),
+            rngs.stream(f"selector.{node}"),
+            fixed_window=window,
+        )
+        driver = AffDriver(radio, selector, listening=True,
+                           reassembly_timeout=config.reassembly_timeout)
+        ContinuousStreamSender(
+            sim, driver, node_id=node, packet_bytes=config.packet_bytes,
+            duration=config.duration, rng=rngs.stream(f"traffic.{node}"),
+        ).start()
+    sim.run(until=config.duration + 1.0)
+    return receiver.collision_loss_rate()
+
+
+def test_listening_window_ablation(benchmark, publish):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        f"Ablation: listening window size (H={ID_BITS}, T={N_SENDERS}; "
+        f"paper's choice is 2T = {2 * N_SENDERS})",
+        ["avoid window", "collision loss rate"],
+    )
+    for window, rate in rows:
+        table.add_row(window, rate)
+    publish("ext_listening_ablation", table.render())
+
+    by_window = dict(rows)
+    # Window 0 is uniform selection: the worst of the sweep (within noise).
+    assert by_window[0] >= max(by_window[10], by_window[20]) - 0.02
+    # The paper's 2T window performs at least as well as no listening.
+    assert by_window[2 * N_SENDERS] < by_window[0]

@@ -1,0 +1,61 @@
+"""Extension: a first-order model of listening, validated in simulation.
+
+The paper defers modelling the listening heuristic to future work.  Our
+first-order model (`p_success_listening`) combines a duplicate-corrected
+residual pool with a calibrated vulnerability window.  This bench
+compares, per identifier size: Eq. 4 (the memoryless bound), the
+listening model, and the measured listening rate.
+
+Claims asserted: the listening model is on the right side of Eq. 4 and
+predicts the measurements within a factor of ~2.5 across a ~16x range of
+rates, where Eq. 4 overestimates them ~3-5x.
+"""
+
+from conftest import DURATION, TRIALS
+
+from repro.core.model import collision_probability, p_success_listening
+from repro.experiments.harness import CollisionTrialConfig, replicate
+from repro.experiments.results import Table
+
+ID_SIZES = (4, 5, 6, 8)
+T = 5
+
+
+def run_all():
+    rows = []
+    for id_bits in ID_SIZES:
+        mean, sd, _ = replicate(
+            CollisionTrialConfig(
+                id_bits=id_bits, duration=DURATION, selector="listening", seed=3
+            ),
+            trials=TRIALS,
+        )
+        eq4 = float(collision_probability(id_bits, T))
+        listening_model = 1.0 - p_success_listening(id_bits, T)
+        rows.append((id_bits, eq4, listening_model, mean, sd))
+    return rows
+
+
+def test_listening_model(benchmark, publish):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        f"Extension: first-order listening model vs measurement (T={T})",
+        ["id bits", "Eq.4 (memoryless)", "listening model",
+         "measured listening", "sd"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    publish("ext_listening_model", table.render())
+
+    for id_bits, eq4, predicted, measured, _sd in rows:
+        # The model sits below the memoryless bound, like the measurements.
+        assert predicted < eq4
+        # First-order accuracy: within a factor of ~2.5 of the measured
+        # rate at every size (Eq. 4 is off by 3-5x here).
+        if measured > 0.005:
+            ratio = predicted / measured
+            assert 0.4 < ratio < 2.5, (id_bits, predicted, measured)
+    # And it reproduces the steep decay with identifier size.
+    predictions = [p for _b, _e, p, _m, _s in rows]
+    assert predictions[0] > 5 * predictions[-1]

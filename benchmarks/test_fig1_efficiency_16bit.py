@@ -1,0 +1,29 @@
+"""Figure 1: efficiency of AFF vs static allocation, 16-bit data.
+
+Paper's claims, asserted here:
+  * AFF(T=16) peaks at 9 identifier bits, above the 16-bit static 50% line;
+  * static 16/32-bit lines are flat at 50% / 33%;
+  * AFF(T=65536) never beats 16-bit static (the fully utilised case).
+"""
+
+import pytest
+
+from repro.experiments.figures import figure_1
+
+
+def test_figure_1(benchmark, publish_figure):
+    fig = benchmark.pedantic(figure_1, rounds=1, iterations=1)
+    publish_figure("figure_1", fig)
+
+    aff16 = fig.series_by_label("AFF T=16")
+    peak_bits, peak_eff = aff16.peak()
+    assert peak_bits == 9, "paper: optimal AFF identifier size is 9 bits at T=16"
+    assert peak_eff > 0.5, "paper: AFF at its optimum beats 16-bit static (50%)"
+
+    static16 = fig.series_by_label("static 16-bit")
+    static32 = fig.series_by_label("static 32-bit")
+    assert static16.y[0] == pytest.approx(0.5)
+    assert static32.y[0] == pytest.approx(1 / 3)
+
+    extreme = fig.series_by_label("AFF T=65536")
+    assert max(extreme.y) <= 0.5 + 1e-9, "paper: no room for AFF at 64K density"

@@ -1,0 +1,34 @@
+"""Figure 2: efficiency of AFF vs static allocation, 128-bit data.
+
+Paper's claims, asserted here:
+  * larger data makes static allocation more efficient than in Figure 1;
+  * the optimal AFF identifier size increases relative to Figure 1;
+  * AFF and static efficiencies are 'not significantly different' at this
+    design point.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure_1, figure_2
+
+
+def test_figure_2(benchmark, publish_figure):
+    fig = benchmark.pedantic(figure_2, rounds=1, iterations=1)
+    publish_figure("figure_2", fig)
+
+    assert fig.series_by_label("static 16-bit").y[0] == pytest.approx(128 / 144)
+    assert fig.series_by_label("static 32-bit").y[0] == pytest.approx(0.8)
+
+    fig1 = figure_1()
+    for density in (16, 256, 65536):
+        label = f"AFF T={density}"
+        assert (
+            fig.series_by_label(label).peak()[0]
+            >= fig1.series_by_label(label).peak()[0]
+        ), "paper: optimal identifier size increases with data size"
+
+    peak16 = fig.series_by_label("AFF T=16").peak()[1]
+    static16 = fig.series_by_label("static 16-bit").y[0]
+    assert abs(peak16 - static16) < 0.1, (
+        "paper: at 128-bit data AFF and static are not significantly different"
+    )

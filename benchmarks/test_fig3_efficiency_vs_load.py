@@ -1,0 +1,32 @@
+"""Figure 3: efficiency vs offered load (transaction density), 16-bit data.
+
+Paper's claims, asserted here:
+  * statically assigned identifiers have constant efficiency until the
+    address space is exhausted, after which efficiency is undefined;
+  * AFF does work beyond that point, degrading smoothly.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import figure_3
+
+
+def test_figure_3(benchmark, publish_figure):
+    fig = benchmark.pedantic(figure_3, rounds=1, iterations=1)
+    publish_figure("figure_3", fig, x_log=True)
+
+    static = fig.series_by_label("static 16-bit")
+    in_range = [v for d, v in zip(static.x, static.y) if d <= 2**16]
+    beyond = [v for d, v in zip(static.x, static.y) if d > 2**16]
+    assert all(v == pytest.approx(0.5) for v in in_range), "flat until exhaustion"
+    assert beyond and all(math.isnan(v) for v in beyond), "undefined beyond 2^16"
+
+    aff = fig.series_by_label("AFF 16-bit")
+    aff_beyond = [v for d, v in zip(aff.x, aff.y) if d > 2**16]
+    assert aff_beyond and all(v > 0 for v in aff_beyond), (
+        "paper: AFF does work beyond the static exhaustion point"
+    )
+    # Smooth degradation: monotone non-increasing in load.
+    assert all(a >= b - 1e-12 for a, b in zip(aff.y, aff.y[1:]))

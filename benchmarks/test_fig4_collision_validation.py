@@ -1,0 +1,54 @@
+"""Figure 4: collision rate predicted by the model vs observed in the
+implementation, for random and listening identifier selection.
+
+Runs the full simulated stack (the paper's 5 transmitters -> 1 receiver
+testbed).  At default fidelity this uses shortened trials; set
+REPRO_FULL=1 for the paper's exact 120 s x 10 protocol.
+
+Paper's claims, asserted here:
+  * the observed random-selection rate tracks the Eq. 4 model (the model
+    is an upper bound, so observations sit at or below it, same regime);
+  * the listening heuristic is 'very effective', sitting below random
+    selection across identifier sizes.
+"""
+
+from conftest import DURATION, TRIALS
+
+from repro.experiments.figures import FIG4_DEFAULT_ID_BITS, figure_4
+
+
+def test_figure_4(benchmark, publish_figure):
+    fig = benchmark.pedantic(
+        figure_4,
+        kwargs=dict(
+            id_bits_list=FIG4_DEFAULT_ID_BITS,
+            trials=TRIALS,
+            duration=DURATION,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish_figure("figure_4", fig)
+
+    model = fig.series_by_label("model T=5")
+    rand = fig.series_by_label("measured random")
+    listen = fig.series_by_label("measured listening")
+
+    for m, r in zip(model.y, rand.y):
+        assert r <= m + 0.05, "Eq. 4 is an upper bound on random selection"
+    # Same regime at the contended sizes (the bound is within ~3x).
+    for m, r in zip(model.y, rand.y):
+        if m > 0.05:
+            assert r >= m * 0.25
+
+    # Listening at or below random selection overall, and clearly better
+    # in the heavily contended region.
+    assert sum(listen.y) < sum(rand.y)
+    contended = [i for i, m in enumerate(model.y) if m > 0.1]
+    for i in contended:
+        assert listen.y[i] <= rand.y[i] + 0.02
+
+    # Rates fall monotonically-ish with identifier size (shape check).
+    assert rand.y[-1] < rand.y[0]
+    assert listen.y[-1] < listen.y[0]

@@ -1,0 +1,94 @@
+"""Microbenchmarks: throughput of the core primitives.
+
+Not a paper figure — these time the building blocks so performance
+regressions in the simulator or codec are caught: event-queue rate,
+fragmentation/reassembly throughput, selector draw rate, and the
+analytic model's sweep speed.
+"""
+
+import random
+
+from repro.aff.fragmenter import Fragmenter
+from repro.aff.reassembler import Reassembler
+from repro.aff.wire import FragmentCodec
+from repro.core import model
+from repro.core.identifiers import IdentifierSpace, ListeningSelector, UniformSelector
+from repro.sim.engine import Simulator
+
+
+def test_event_queue_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+            if counter[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return counter[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_fragmentation_throughput(benchmark):
+    frag = Fragmenter(FragmentCodec(9), mtu_bytes=27)
+    payload = bytes(range(256)) * 4  # 1 KiB
+
+    def run():
+        plan = frag.fragment(payload, identifier=13)
+        return sum(len(frag.codec.encode(f)) for f in plan.fragments)
+
+    assert benchmark(run) > 0
+
+
+def test_reassembly_throughput(benchmark):
+    frag = Fragmenter(FragmentCodec(9), mtu_bytes=27)
+    payload = bytes(range(256)) * 4
+    fragments = frag.fragment(payload, identifier=13).fragments
+
+    def run():
+        reasm = Reassembler()
+        out = None
+        for f in fragments:
+            result = reasm.accept(f, now=0.0)
+            if result is not None:
+                out = result
+        return out
+
+    assert benchmark(run) == payload
+
+
+def test_uniform_selector_rate(benchmark):
+    selector = UniformSelector(IdentifierSpace(9), random.Random(1))
+
+    def run():
+        return [selector.select() for _ in range(1000)]
+
+    assert len(benchmark(run)) == 1000
+
+
+def test_listening_selector_rate(benchmark):
+    selector = ListeningSelector(
+        IdentifierSpace(9), random.Random(1), density_hint=16
+    )
+    for i in range(64):
+        selector.observe(i % 512)
+
+    def run():
+        return [selector.select() for _ in range(1000)]
+
+    assert len(benchmark(run)) == 1000
+
+
+def test_model_sweep_rate(benchmark):
+    def run():
+        total = 0.0
+        for density in (4, 16, 64, 256, 1024):
+            _, eff = model.sweep_aff_efficiency(16, density, (1, 48))
+            total += float(eff.sum())
+        return total
+
+    assert benchmark(run) > 0

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Address-free alarm flooding across a sensor grid.
+
+A disaster-relief deployment (the paper's motivating scenario — sensors
+"dropped into inhospitable terrain"): a 6x6 grid of sensors, any of
+which may detect an event and flood an alarm across the mesh.  Nodes
+suppress duplicate re-broadcasts by remembering recently seen flood
+identifiers — ephemeral RETRI identifiers, not source addresses.
+
+The demo floods alarms under three identifier configurations and shows
+the Figure 1 tradeoff transplanted to multi-hop dissemination:
+
+* 4-bit identifiers: cheap headers, but concurrent alarms collide and
+  get suppressed in parts of the mesh;
+* 10-bit identifiers: full coverage, headers still smaller than the
+  traditional (source, sequence) key;
+* the (source, sequence) baseline: collision-free, widest headers.
+
+Run:  python examples/flood_warning.py
+"""
+
+from repro.experiments.scenarios import flooding_scenario
+
+CONFIGS = (
+    ("RETRI 4-bit ids", dict(id_bits=4)),
+    ("RETRI 10-bit ids", dict(id_bits=10)),
+    ("static (src,seq) 14-bit", dict(id_bits=14, static=True)),
+)
+
+
+def main() -> None:
+    print("36 sensors, 40 overlapping alarm floods across the grid.")
+    print()
+    header = (f"{'identifiers':<26} {'mean coverage':>13} "
+              f"{'full floods':>11} {'hdr bits/flood':>14}")
+    print(header)
+    print("-" * len(header))
+    for name, kwargs in CONFIGS:
+        r = flooding_scenario(rows=6, cols=6, n_floods=40, seed=7, **kwargs)
+        print(f"{name:<26} {r['mean_coverage']:>13.3f} "
+              f"{r['full_coverage_fraction']:>11.2f} "
+              f"{r['header_bits_per_flood']:>14.0f}")
+    print()
+    print("Undersized identifiers silently suppress alarms in parts of the")
+    print("mesh (a collision makes a node think it already forwarded the")
+    print("new alarm).  Sized for the number of alarms that can share a")
+    print("dedup window - not for the number of sensors that exist - RETRI")
+    print("matches the traditional scheme's coverage at lower header cost,")
+    print("and the right size stays put as the deployment grows.")
+
+
+if __name__ == "__main__":
+    main()

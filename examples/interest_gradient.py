@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Interest reinforcement with RETRI identifiers (Section 6).
+
+Eight sensors report readings tagged with ephemeral identifiers.  A sink
+reinforces interesting readings by identifier alone — "whoever just sent
+data with identifier 4, send more of that" — with no sensor addresses
+anywhere.  Reinforced sensors speed up; ignored ones decay to a slow
+base rate.
+
+The demo runs twice:
+* RETRI mode with a deliberately small 4-bit identifier space so a few
+  misdirected reinforcements occur (two sensors sharing an identifier
+  both speed up), and
+* static mode, which never misdirects but pays fixed wide identifiers.
+
+Run:  python examples/interest_gradient.py
+"""
+
+from repro.apps.interest import InterestSink, InterestSource
+from repro.core.identifiers import IdentifierSpace, UniformSelector
+from repro.radio.mac import CsmaMac
+from repro.radio.medium import BroadcastMedium
+from repro.radio.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.topology.graphs import FullMesh
+
+N_SOURCES = 8
+DURATION = 90.0
+
+
+def run(mode: str, id_bits: int) -> None:
+    rngs = RngRegistry(7)
+    sim = Simulator()
+    medium = BroadcastMedium(
+        sim, FullMesh(range(N_SOURCES + 1)), rf_collisions=False,
+        rng=rngs.stream("medium"),
+    )
+    sink = InterestSink(
+        sim,
+        Radio(medium, N_SOURCES, mac=CsmaMac(rng=rngs.stream("mac.sink"))),
+        id_bits=id_bits,
+        # The sink is interested in "high" readings only.
+        interest_fn=lambda reading: reading >= 0x8000,
+    )
+    sources = []
+    for node in range(N_SOURCES):
+        reading_rng = rngs.stream(f"reading.{node}")
+        source = InterestSource(
+            sim,
+            Radio(medium, node, mac=CsmaMac(rng=rngs.stream(f"mac.{node}"))),
+            UniformSelector(IdentifierSpace(id_bits), rngs.stream(f"sel.{node}")),
+            # Even-numbered sensors see high readings (interesting).
+            reading_fn=(
+                (lambda: 0xFFFF) if node % 2 == 0 else (lambda: 0x0001)
+            ),
+            epoch=5.0,
+            base_interval=4.0,
+            min_interval=0.5,
+            static_identifier=(node if mode == "static" else None),
+            rng=rngs.stream(f"src.{node}"),
+        )
+        source.start()
+        sources.append(source)
+
+    sim.run(until=DURATION)
+
+    print(f"--- {mode} mode, {id_bits}-bit identifiers ---")
+    for node, source in enumerate(sources):
+        s = source.stats
+        interesting = "interesting " if node % 2 == 0 else "boring      "
+        print(
+            f"  sensor {node} ({interesting}): "
+            f"{s.readings_sent:3d} readings, "
+            f"{s.reinforcements_received:3d} reinforcements "
+            f"({s.reinforcements_misdirected} misdirected), "
+            f"final interval {source.interval:.2f}s"
+        )
+    total_mis = sum(s.stats.reinforcements_misdirected for s in sources)
+    interesting_rates = [
+        s.stats.readings_sent for i, s in enumerate(sources) if i % 2 == 0
+    ]
+    boring_rates = [
+        s.stats.readings_sent for i, s in enumerate(sources) if i % 2
+    ]
+    print(f"  => interesting sensors reported "
+          f"{sum(interesting_rates) / len(interesting_rates):.0f}x on average, "
+          f"boring ones {sum(boring_rates) / len(boring_rates):.0f}x; "
+          f"{total_mis} reinforcements went to the wrong sensor")
+    print()
+
+
+if __name__ == "__main__":
+    print("Interest reinforcement: the network learns who to listen to,")
+    print("without ever naming a sensor.")
+    print()
+    run("RETRI", id_bits=4)
+    run("static", id_bits=4)
+    print("RETRI occasionally reinforces the wrong sensor (shared")
+    print("identifier), but each mistake dies with the 5-second epoch;")
+    print("static identifiers never misdirect but cannot shrink below")
+    print("log2(network size) bits and must be kept unique under churn.")

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: the RETRI model and an address-free packet in flight.
+
+Walks through the library's two entry points:
+
+1.  The **analytic model** (Section 4 of the paper): how big should a
+    probabilistically unique identifier be, and how does it compare with
+    static addressing?
+2.  The **simulated testbed**: two sensor nodes with 27-byte-frame
+    radios, one Address-Free Fragmentation driver each, one packet sent
+    and reassembled with no addresses anywhere on the wire.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    AffDriver,
+    BroadcastMedium,
+    FullMesh,
+    IdentifierSpace,
+    Packet,
+    Radio,
+    Simulator,
+    UniformSelector,
+    efficiency_aff,
+    efficiency_static,
+    optimal_identifier_bits,
+    p_success,
+)
+
+
+def explore_the_model() -> None:
+    print("=== 1. The analytic model ===")
+    print()
+    print("A sensor network with ~16 concurrent transactions in radio range,")
+    print("sending 16-bit readings.  How many identifier bits are optimal?")
+    best_bits, best_eff = optimal_identifier_bits(data_bits=16, density=16)
+    print(f"  optimal identifier size : {best_bits} bits   (paper: 9 bits)")
+    print(f"  efficiency at optimum   : {best_eff:.3f}")
+    print(f"  P(transaction survives) : {p_success(best_bits, 16):.4f}")
+    print()
+    print("Compared with guaranteed-unique static addresses:")
+    for addr_bits in (16, 32, 48):
+        print(
+            f"  static {addr_bits:2d}-bit addresses : "
+            f"E = {efficiency_static(16, addr_bits):.3f}"
+        )
+    print(
+        f"  RETRI {best_bits}-bit identifiers : "
+        f"E = {efficiency_aff(16, best_bits, 16):.3f}   <- wins"
+    )
+    print()
+
+
+def send_one_packet() -> None:
+    print("=== 2. One address-free packet over the simulated radio ===")
+    print()
+    sim = Simulator()
+    # Two nodes, fully connected, RPC-like radios (27-byte frames).
+    medium = BroadcastMedium(sim, FullMesh([0, 1]), rf_collisions=False)
+
+    delivered = []
+    sender = AffDriver(
+        Radio(medium, 0),
+        UniformSelector(IdentifierSpace(9), random.Random(7)),
+    )
+    receiver = AffDriver(
+        Radio(medium, 1),
+        UniformSelector(IdentifierSpace(9), random.Random(8)),
+        deliver=delivered.append,
+    )
+
+    payload = b"motion detected in the north-east quadrant"
+    identifier = sender.send(Packet(payload=payload, origin=0))
+    print(f"  sender drew ephemeral identifier {identifier} "
+          f"(9-bit space, fresh per packet)")
+
+    sim.run()
+
+    print(f"  fragments on the air    : {sender.stats.fragments_sent} "
+          f"(intro + data, 27-byte frames)")
+    print(f"  receiver reassembled    : {delivered[0]!r}")
+    print(f"  header bits transmitted : {sender.budget.transmitted('header')}")
+    print(f"  payload bits transmitted: {sender.budget.transmitted('payload')}")
+    print()
+    print("No node address appeared in any frame - the random identifier")
+    print("alone tied the fragments together.")
+
+
+if __name__ == "__main__":
+    explore_the_model()
+    send_one_packet()

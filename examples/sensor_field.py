@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""A dense sensor field: spatial locality, churn, and energy accounting.
+
+The scenario the paper's introduction motivates: many small sensors
+scattered over an area, each with a short-range radio, periodically
+reporting a few bytes.  This example builds a random geometric (disk)
+topology, runs periodic traffic through the AFF stack while nodes join
+and fail, and reports:
+
+* how transaction density compares to network size (the locality RETRI
+  exploits — identifiers sized for *neighbourhood* contention, not the
+  whole network);
+* hidden-terminal exposure of the deployment;
+* delivery statistics and per-node energy spent.
+
+Run:  python examples/sensor_field.py
+"""
+
+import random
+
+from repro import (
+    AffDriver,
+    BroadcastMedium,
+    DiskGraph,
+    IdentifierSpace,
+    Radio,
+    RngRegistry,
+    Simulator,
+    UniformSelector,
+    min_static_bits,
+    optimal_identifier_bits,
+)
+from repro.apps.workloads import PeriodicSender
+from repro.topology import (
+    ChurnProcess,
+    hidden_terminal_fraction,
+    mean_degree,
+)
+
+N_NODES = 60
+RADIO_RANGE = 0.22
+DURATION = 120.0
+REPORT_BYTES = 4
+
+
+def main() -> None:
+    rngs = RngRegistry(root_seed=2026)
+    sim = Simulator()
+
+    field = DiskGraph.random(
+        N_NODES, radio_range=RADIO_RANGE, rng=rngs.stream("placement")
+    )
+    print(f"Deployed {N_NODES} sensors in a unit square, "
+          f"radio range {RADIO_RANGE}")
+    print(f"  mean neighbourhood size : {mean_degree(field):.1f} nodes")
+    print(f"  hidden-terminal exposure: "
+          f"{hidden_terminal_fraction(field):.1%} of co-receiver pairs")
+    print()
+
+    medium = BroadcastMedium(sim, field, rf_collisions=False,
+                             rng=rngs.stream("medium"))
+
+    delivered_count = [0]
+    drivers = {}
+    radios = {}
+    for node in sorted(field.nodes):
+        radio = Radio(medium, node)
+        radios[node] = radio
+        drivers[node] = AffDriver(
+            radio,
+            UniformSelector(IdentifierSpace(8), rngs.stream(f"sel.{node}")),
+            deliver=lambda payload: delivered_count.__setitem__(
+                0, delivered_count[0] + 1
+            ),
+        )
+        PeriodicSender(
+            sim, drivers[node], node_id=node, packet_bytes=REPORT_BYTES,
+            duration=DURATION, rng=rngs.stream(f"traffic.{node}"),
+            interval=5.0, jitter=2.0,
+        ).start()
+
+    # Sensor fields are dynamic: nodes fail, new ones get scattered in.
+    def on_churn(event):
+        if event.kind == "join":
+            radio = Radio(medium, event.node)
+            radios[event.node] = radio
+            drivers[event.node] = AffDriver(
+                radio,
+                UniformSelector(
+                    IdentifierSpace(8), rngs.stream(f"sel.{event.node}")
+                ),
+            )
+        else:
+            radio = radios.pop(event.node, None)
+            if radio is not None:
+                radio.shutdown()
+
+    churn = ChurnProcess(
+        sim, field, leave_rate=1 / 300.0, join_rate=N_NODES / 300.0,
+        rng=rngs.stream("churn"), on_change=on_churn,
+    )
+    churn.start()
+
+    sim.run(until=DURATION + 5.0)
+    churn.stop()
+
+    # --- locality: why identifiers stay small as the network grows ----
+    print("RETRI's scaling argument, on this deployment:")
+    print(f"  static addressing needs >= {min_static_bits(len(field))} bits "
+          f"for these {len(field)} nodes and GROWS as log2(N) with the "
+          f"field — 16+ bits at the paper's 'tens of thousands'")
+    best_bits, _ = optimal_identifier_bits(
+        data_bits=8 * REPORT_BYTES, density=max(2, mean_degree(field))
+    )
+    print(f"  RETRI is sized for neighbourhood contention only: "
+          f"~{best_bits} bits here, and CONSTANT as the field grows, "
+          f"because density — not size — sets it")
+    print()
+
+    # --- outcomes ------------------------------------------------------
+    total_sent = sum(d.stats.packets_sent for d in drivers.values())
+    joules = [r.energy.total_joules for r in radios.values()]
+    print("After two simulated minutes with churn "
+          f"({len(churn.history)} join/leave events):")
+    print(f"  packets sent            : {total_sent}")
+    print(f"  deliveries (all hearers): {delivered_count[0]}")
+    print(f"  surviving nodes         : {len(field)}")
+    if joules:
+        print(f"  energy per node         : "
+              f"min {min(joules):.2e} J, max {max(joules):.2e} J")
+    print()
+    print("Every one of those packets crossed the air without a single")
+    print("node address in its headers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's validation experiment (Figure 4), scaled down.
+
+Five transmitters stream random 80-byte packets (five 27-byte fragments
+each) at one instrumented receiver, fully connected — exactly the
+paper's testbed, on the simulated radio.  For each identifier size the
+script reports:
+
+* the collision rate Eq. 4 predicts at T = 5,
+* the rate measured with uniform-random identifier selection,
+* the rate measured with the listening heuristic.
+
+Run:  python examples/testbed_validation.py           (quick: 15 s x 2 trials)
+      REPRO_FULL=1 python examples/testbed_validation.py   (paper: 120 s x 10)
+"""
+
+import os
+
+from repro.core.model import collision_probability
+from repro.experiments.harness import CollisionTrialConfig, replicate
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+DURATION = 120.0 if FULL else 15.0
+TRIALS = 10 if FULL else 2
+ID_SIZES = (2, 3, 4, 5, 6, 8)
+
+
+def main() -> None:
+    print("Validation experiment: 5 senders -> 1 instrumented receiver,")
+    print(f"80-byte packets in 27-byte frames, {TRIALS} trials x "
+          f"{DURATION:.0f}s per point.")
+    print()
+    header = (f"{'id bits':>8} {'model T=5':>10} "
+              f"{'random':>16} {'listening':>16}")
+    print(header)
+    print("-" * len(header))
+    for id_bits in ID_SIZES:
+        predicted = float(collision_probability(id_bits, 5))
+        cells = [f"{id_bits:>8} {predicted:>10.4f}"]
+        for selector in ("uniform", "listening"):
+            mean, stdev, _ = replicate(
+                CollisionTrialConfig(
+                    id_bits=id_bits,
+                    duration=DURATION,
+                    selector=selector,
+                    seed=1,
+                ),
+                trials=TRIALS,
+            )
+            cells.append(f"{mean:>9.4f}±{stdev:<6.4f}")
+        print(" ".join(cells))
+    print()
+    print("Read it like the paper's Figure 4: the random curve tracks the")
+    print("model (which is a worst-case bound), and listening sits well")
+    print("below both at contended identifier sizes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: `python setup.py develop` is the supported editable
+install in fully offline environments (modern pip's editable installs
+require the `wheel` package).  All metadata lives in setup.cfg."""
+
+from setuptools import setup
+
+setup()

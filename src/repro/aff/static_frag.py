@@ -1,0 +1,253 @@
+"""Static-address fragmentation baseline (the IP-style comparator).
+
+Section 2.1's example made concrete: fragments are keyed by
+``(source address, per-sender packet number)``, exactly as IP keys
+datagram fragments by (source, destination, identification, protocol).
+The source address comes from an :class:`~repro.core.policies.AllocationPolicy`
+(static global 48/32/16-bit, or optimal static local), so experiments can
+price different address sizes.
+
+Collision-free by construction — the cost is the address bits in every
+fragment's header, which the efficiency benchmarks charge against it.
+
+Wire format (bit-packed, parallel to the AFF codec):
+
+======================  ==========================================================
+Introduction fragment    kind(2) | src(A) | pkt(16) | total_length(16) | checksum(16)
+Data fragment            kind(2) | src(A) | pkt(16) | offset(16) | length(8) | payload
+======================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+from ..core.policies import AllocationPolicy
+from ..net.checksum import ChecksumFn, fletcher16
+from ..net.packets import BitBudget, Packet
+from ..net.reassembly import ReassemblyBuffer
+from ..radio.frame import Frame
+from ..radio.radio import Radio
+from ..util.bits import BitReader, BitWriter, BitstreamError
+
+__all__ = ["StaticCodec", "StaticDriver", "StaticIntro", "StaticData"]
+
+KIND_INTRO = 0
+KIND_DATA = 1
+
+_KIND_BITS = 2
+_PKT_BITS = 16
+_LENGTH_BITS = 16
+_CHECKSUM_BITS = 16
+_OFFSET_BITS = 16
+_FRAGLEN_BITS = 8
+
+DeliveryCallback = Callable[[bytes], None]
+
+
+@dataclass(frozen=True)
+class StaticIntro:
+    source: int
+    packet_id: int
+    total_length: int
+    checksum: int
+
+
+@dataclass(frozen=True)
+class StaticData:
+    source: int
+    packet_id: int
+    offset: int
+    payload: bytes
+
+
+StaticFragment = Union[StaticIntro, StaticData]
+
+
+class StaticCodec:
+    """Wire codec for static-address fragments with ``addr_bits`` sources."""
+
+    def __init__(self, addr_bits: int):
+        if not 1 <= addr_bits <= 62:
+            raise ValueError("addr_bits must be in [1, 62]")
+        self.addr_bits = addr_bits
+
+    @property
+    def intro_header_bits(self) -> int:
+        return _KIND_BITS + self.addr_bits + _PKT_BITS + _LENGTH_BITS + _CHECKSUM_BITS
+
+    @property
+    def data_header_bits(self) -> int:
+        return _KIND_BITS + self.addr_bits + _PKT_BITS + _OFFSET_BITS + _FRAGLEN_BITS
+
+    def max_payload_in_frame(self, frame_bytes: int) -> int:
+        available_bits = 8 * frame_bytes - self.data_header_bits
+        payload = available_bits // 8
+        if payload < 1:
+            raise ValueError(
+                f"{frame_bytes}-byte frames cannot carry payload with "
+                f"{self.data_header_bits}-bit headers (address too large)"
+            )
+        return min(payload, (1 << _FRAGLEN_BITS) - 1)
+
+    def encode(self, fragment: StaticFragment) -> bytes:
+        writer = BitWriter()
+        if isinstance(fragment, StaticIntro):
+            writer.write(KIND_INTRO, _KIND_BITS)
+            writer.write(fragment.source, self.addr_bits)
+            writer.write(fragment.packet_id, _PKT_BITS)
+            writer.write(fragment.total_length, _LENGTH_BITS)
+            writer.write(fragment.checksum & 0xFFFF, _CHECKSUM_BITS)
+        elif isinstance(fragment, StaticData):
+            writer.write(KIND_DATA, _KIND_BITS)
+            writer.write(fragment.source, self.addr_bits)
+            writer.write(fragment.packet_id, _PKT_BITS)
+            writer.write(fragment.offset, _OFFSET_BITS)
+            writer.write(len(fragment.payload), _FRAGLEN_BITS)
+            writer.write_bytes(fragment.payload)
+        else:
+            raise TypeError(f"not a static fragment: {fragment!r}")
+        return writer.getvalue()
+
+    def decode(self, data: bytes) -> StaticFragment:
+        reader = BitReader(data)
+        try:
+            kind = reader.read(_KIND_BITS)
+            source = reader.read(self.addr_bits)
+            packet_id = reader.read(_PKT_BITS)
+            if kind == KIND_INTRO:
+                total_length = reader.read(_LENGTH_BITS)
+                checksum = reader.read(_CHECKSUM_BITS)
+                return StaticIntro(source, packet_id, total_length, checksum)
+            if kind == KIND_DATA:
+                offset = reader.read(_OFFSET_BITS)
+                length = reader.read(_FRAGLEN_BITS)
+                payload = reader.read_bytes(length)
+                return StaticData(source, packet_id, offset, payload)
+        except BitstreamError as exc:
+            raise ValueError(f"truncated static fragment: {exc}") from exc
+        raise ValueError(f"unknown static fragment kind {kind}")
+
+
+class StaticDriver:
+    """IP-style fragmentation over statically addressed nodes.
+
+    The reassembly key ``(source, packet_id)`` is unique as long as a
+    sender does not wrap its 16-bit packet counter within a reassembly
+    timeout — the same assumption IP makes.
+    """
+
+    def __init__(
+        self,
+        radio: Radio,
+        policy: AllocationPolicy,
+        deliver: Optional[DeliveryCallback] = None,
+        checksum: ChecksumFn = fletcher16,
+        reassembly_timeout: float = 30.0,
+        budget: Optional[BitBudget] = None,
+    ):
+        self.radio = radio
+        self.policy = policy
+        self.codec = StaticCodec(policy.header_bits)
+        self.checksum = checksum
+        self.deliver = deliver
+        self.budget = budget if budget is not None else BitBudget()
+        self.packets_sent = 0
+        self.malformed_frames = 0
+        self._next_packet_id = 0
+        self._address = policy.transaction_identifier(radio.node_id)
+        self._buffer: ReassemblyBuffer[Tuple[int, int]] = ReassemblyBuffer(
+            timeout=reassembly_timeout
+        )
+        self._delivered: list[bytes] = []
+        self.payload_per_fragment = self.codec.max_payload_in_frame(
+            radio.max_frame_bytes
+        )
+        radio.set_receive_handler(self._on_frame)
+
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        return self.radio.medium.sim
+
+    @property
+    def address(self) -> int:
+        return self._address
+
+    @property
+    def delivered(self) -> list[bytes]:
+        return list(self._delivered)
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> Tuple[int, int]:
+        """Fragment and queue; returns the (source, packet_id) key used."""
+        packet_id = self._next_packet_id
+        self._next_packet_id = (self._next_packet_id + 1) % (1 << _PKT_BITS)
+        payload = packet.payload
+        fragments: list[StaticFragment] = [
+            StaticIntro(
+                source=self._address,
+                packet_id=packet_id,
+                total_length=len(payload),
+                checksum=self.checksum(payload),
+            )
+        ]
+        for offset in range(0, len(payload), self.payload_per_fragment):
+            fragments.append(
+                StaticData(
+                    source=self._address,
+                    packet_id=packet_id,
+                    offset=offset,
+                    payload=payload[offset : offset + self.payload_per_fragment],
+                )
+            )
+        for index, fragment in enumerate(fragments):
+            encoded = self.codec.encode(fragment)
+            if isinstance(fragment, StaticData):
+                header_bits = self.codec.data_header_bits
+                payload_bits = 8 * len(fragment.payload)
+            else:
+                header_bits = self.codec.intro_header_bits
+                payload_bits = 0
+            padding = 8 * len(encoded) - header_bits - payload_bits
+            frame = Frame(
+                payload=encoded,
+                origin=self.radio.node_id,
+                header_bits=header_bits + padding,
+                payload_bits=payload_bits,
+                ground_truth={
+                    "packet": packet.ground_truth_key(),
+                    "index": index,
+                    "count": len(fragments),
+                },
+            )
+            self.budget.charge_transmit("header", frame.header_bits)
+            self.budget.charge_transmit("payload", frame.payload_bits)
+            self.radio.send(frame)
+        self.packets_sent += 1
+        return (self._address, packet_id)
+
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: Frame) -> None:
+        try:
+            fragment = self.codec.decode(frame.payload)
+        except ValueError:
+            self.malformed_frames += 1
+            return
+        self._buffer.evict_stale(self.sim.now)
+        key = (fragment.source, fragment.packet_id)
+        entry = self._buffer.get_or_create(key, self.sim.now)
+        if isinstance(fragment, StaticIntro):
+            if entry.total_length is None:
+                entry.total_length = fragment.total_length
+                entry.expected_checksum = fragment.checksum
+        else:
+            entry.add_span(fragment.offset, fragment.payload)
+        if entry.is_complete():
+            payload = entry.assemble()
+            self._buffer.complete(key)
+            if self.checksum(payload) == entry.expected_checksum:
+                self._delivered.append(payload)
+                if self.deliver is not None:
+                    self.deliver(payload)

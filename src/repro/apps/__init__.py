@@ -1,0 +1,29 @@
+"""Applications of RETRI beyond fragmentation (Section 6) and workloads."""
+
+from .codebook import CodebookReceiver, CodebookSender, CodebookStats
+from .flooding import FloodCodec, FloodNode, FloodStats
+from .interest import InterestSink, InterestSource, InterestStats
+from .workloads import (
+    BurstySender,
+    ContinuousStreamSender,
+    PeriodicSender,
+    PoissonSender,
+    random_payload,
+)
+
+__all__ = [
+    "BurstySender",
+    "CodebookReceiver",
+    "CodebookSender",
+    "CodebookStats",
+    "ContinuousStreamSender",
+    "FloodCodec",
+    "FloodNode",
+    "FloodStats",
+    "InterestSink",
+    "InterestSource",
+    "InterestStats",
+    "PeriodicSender",
+    "PoissonSender",
+    "random_payload",
+]

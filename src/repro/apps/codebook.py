@@ -1,0 +1,302 @@
+"""Attribute-based name compression with RETRI codes (Section 6, bullet 2).
+
+Sensor data is named by attribute/value lists ("type=temperature,
+quadrant=NE, unit=C") that dwarf the readings they describe.  The
+classic fix is a *codebook*: transmit the long attribute string once,
+bound to a short code, then send only the code.  The code is an
+identifier referencing shared state — exactly a RETRI transaction:
+
+* **RETRI codes** — the binding's code is drawn at random from a small
+  pool for the lifetime of the binding (the transaction).  Two nodes
+  binding different attributes to the same code within earshot corrupt
+  each other's decodings; receivers detect the clash when a second,
+  different binding arrives for a held code and drop the code (both
+  bindings are lost until refreshed) — collisions are losses, never
+  silent lies.
+* **Unique codes** — guaranteed-unique wide codes (e.g. node address +
+  local counter): collision-free, but every data message pays the wide
+  code.
+
+:class:`CodebookSender` / :class:`CodebookReceiver` implement both modes
+over the radio; ground truth (which attribute a message really named)
+rides in frame instrumentation so experiments can count mis-decodes and
+compute bits-per-delivered-report.
+
+Wire formats (bit-packed):
+
+==============  =====================================================
+Binding          kind(2) | code(C) | attr_len(8) | attribute bytes
+Report           kind(2) | code(C) | value(16)
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.identifiers import IdentifierSelector
+from ..net.packets import BitBudget
+from ..radio.frame import Frame
+from ..radio.radio import Radio
+from ..sim.engine import Simulator
+from ..util.bits import BitReader, BitWriter, BitstreamError
+
+__all__ = ["CodebookSender", "CodebookReceiver", "CodebookStats"]
+
+KIND_BINDING = 0
+KIND_REPORT = 1
+#: receiver-initiated clash notification: "code X is bound ambiguously"
+KIND_CLASH = 2
+
+_KIND_BITS = 2
+_ATTRLEN_BITS = 8
+_VALUE_BITS = 16
+
+
+@dataclass
+class CodebookStats:
+    """Receiver-side ground-truth accounting."""
+
+    bindings_heard: int = 0
+    reports_heard: int = 0
+    reports_decoded: int = 0
+    reports_correct: int = 0
+    reports_misdecoded: int = 0
+    reports_undecodable: int = 0
+    code_clashes_detected: int = 0
+
+    def misdecode_rate(self) -> float:
+        if self.reports_decoded == 0:
+            return float("nan")
+        return self.reports_misdecoded / self.reports_decoded
+
+
+class _CodebookCodec:
+    def __init__(self, code_bits: int):
+        self.code_bits = code_bits
+
+    @property
+    def report_header_bits(self) -> int:
+        return _KIND_BITS + self.code_bits
+
+    def binding_bits(self, attribute: bytes) -> int:
+        return _KIND_BITS + self.code_bits + _ATTRLEN_BITS + 8 * len(attribute)
+
+    def encode_binding(self, code: int, attribute: bytes) -> bytes:
+        if len(attribute) >= (1 << _ATTRLEN_BITS):
+            raise ValueError("attribute string too long for the wire format")
+        writer = BitWriter()
+        writer.write(KIND_BINDING, _KIND_BITS)
+        writer.write(code, self.code_bits)
+        writer.write(len(attribute), _ATTRLEN_BITS)
+        writer.write_bytes(attribute)
+        return writer.getvalue()
+
+    def encode_report(self, code: int, value: int) -> bytes:
+        writer = BitWriter()
+        writer.write(KIND_REPORT, _KIND_BITS)
+        writer.write(code, self.code_bits)
+        writer.write(value & 0xFFFF, _VALUE_BITS)
+        return writer.getvalue()
+
+    def encode_clash(self, code: int) -> bytes:
+        writer = BitWriter()
+        writer.write(KIND_CLASH, _KIND_BITS)
+        writer.write(code, self.code_bits)
+        return writer.getvalue()
+
+    def decode(self, data: bytes):
+        reader = BitReader(data)
+        kind = reader.read(_KIND_BITS)
+        code = reader.read(self.code_bits)
+        if kind == KIND_BINDING:
+            length = reader.read(_ATTRLEN_BITS)
+            attribute = reader.read_bytes(length)
+            return kind, code, attribute
+        if kind == KIND_REPORT:
+            return kind, code, reader.read(_VALUE_BITS)
+        if kind == KIND_CLASH:
+            return kind, code, None
+        raise BitstreamError(f"unknown codebook message kind {kind}")
+
+
+class CodebookSender:
+    """Publishes attribute bindings and compressed reports.
+
+    ``report(attribute, value)`` sends the binding first if the
+    attribute has no live code (or its binding epoch expired), then the
+    compressed report.  Codes come from the selector — RETRI random
+    codes or, with ``static_code_fn``, guaranteed-unique ones.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Radio,
+        selector: IdentifierSelector,
+        binding_lifetime: float = 30.0,
+        static_code_fn=None,
+        budget: Optional[BitBudget] = None,
+    ):
+        self.sim = sim
+        self.radio = radio
+        self.selector = selector
+        self.codec = _CodebookCodec(selector.space.bits)
+        self.binding_lifetime = binding_lifetime
+        self.static_code_fn = static_code_fn
+        self.budget = budget if budget is not None else BitBudget()
+        self._codes: Dict[bytes, Tuple[int, float]] = {}  # attr -> (code, expiry)
+        self.bindings_sent = 0
+        self.reports_sent = 0
+        self.clashes_heard = 0
+        radio.set_receive_handler(self._on_frame)
+
+    def _on_frame(self, frame: Frame) -> None:
+        """Senders listen for receiver-initiated clash notifications.
+
+        A clash means our code (or someone else's) is ambiguous at a
+        receiver; if we hold it, drop the binding now — the next report
+        rebinds with a fresh code instead of colliding until expiry.
+        """
+        try:
+            kind, code, _body = self.codec.decode(frame.payload)
+        except BitstreamError:
+            return
+        if kind != KIND_CLASH:
+            return
+        self.clashes_heard += 1
+        self.selector.note_collision(code)
+        for attribute, (held_code, _expiry) in list(self._codes.items()):
+            if held_code == code:
+                del self._codes[attribute]
+                self.selector.note_transaction_end(held_code)
+
+    def _code_for(self, attribute: bytes) -> Tuple[int, bool]:
+        """Returns (code, is_fresh_binding)."""
+        entry = self._codes.get(attribute)
+        if entry is not None and entry[1] > self.sim.now:
+            return entry[0], False
+        if entry is not None:
+            self.selector.note_transaction_end(entry[0])
+        if self.static_code_fn is not None:
+            code = self.static_code_fn(attribute)
+        else:
+            code = self.selector.select()
+        self.selector.note_transaction_begin(code)
+        self._codes[attribute] = (code, self.sim.now + self.binding_lifetime)
+        return code, True
+
+    def report(self, attribute: bytes, value: int) -> int:
+        """Send (binding if needed +) report.  Returns the code used."""
+        code, fresh = self._code_for(attribute)
+        if fresh:
+            payload = self.codec.encode_binding(code, attribute)
+            frame = Frame(
+                payload=payload,
+                origin=self.radio.node_id,
+                header_bits=8 * len(payload),
+                payload_bits=0,
+                ground_truth={"attribute": attribute, "source": self.radio.node_id},
+            )
+            self.budget.charge_transmit("control", frame.header_bits)
+            self.radio.send(frame)
+            self.bindings_sent += 1
+        payload = self.codec.encode_report(code, value)
+        frame = Frame(
+            payload=payload,
+            origin=self.radio.node_id,
+            header_bits=8 * len(payload) - _VALUE_BITS,
+            payload_bits=_VALUE_BITS,
+            ground_truth={
+                "attribute": attribute,
+                "value": value,
+                "source": self.radio.node_id,
+            },
+        )
+        self.budget.charge_transmit("header", frame.header_bits)
+        self.budget.charge_transmit("payload", frame.payload_bits)
+        self.radio.send(frame)
+        self.reports_sent += 1
+        return code
+
+
+class CodebookReceiver:
+    """Decodes compressed reports against heard bindings.
+
+    Clash handling: if a binding arrives for a code already bound to a
+    *different* attribute, the receiver cannot tell which sender will use
+    the code next, so it invalidates the code entirely (conservative; the
+    paper's "identifier conflicts can lead to losses" path rather than
+    silent misbehaviour).  Mis-decodes can still happen when the clash's
+    first binding was missed — ground truth counts those.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: Radio,
+        code_bits: int,
+        notify_clashes: bool = False,
+    ):
+        self.sim = sim
+        self.radio = radio
+        self.codec = _CodebookCodec(code_bits)
+        self.notify_clashes = notify_clashes
+        self.clashes_notified = 0
+        self._bindings: Dict[int, bytes] = {}
+        self._poisoned: set[int] = set()
+        self.stats = CodebookStats()
+        self.decoded: list[Tuple[bytes, int]] = []
+        radio.set_receive_handler(self._on_frame)
+
+    def _broadcast_clash(self, code: int) -> None:
+        payload = self.codec.encode_clash(code)
+        self.radio.send(
+            Frame(
+                payload=payload,
+                origin=self.radio.node_id,
+                header_bits=8 * len(payload),
+                payload_bits=0,
+                ground_truth={"clash": code},
+            )
+        )
+        self.clashes_notified += 1
+
+    def _on_frame(self, frame: Frame) -> None:
+        try:
+            kind, code, body = self.codec.decode(frame.payload)
+        except BitstreamError:
+            return
+        if kind == KIND_BINDING:
+            self.stats.bindings_heard += 1
+            attribute = body
+            held = self._bindings.get(code)
+            if held is not None and held != attribute:
+                # Two senders bound different attributes to one code.
+                self.stats.code_clashes_detected += 1
+                self._bindings.pop(code, None)
+                self._poisoned.add(code)
+                if self.notify_clashes:
+                    self._broadcast_clash(code)
+                return
+            self._bindings[code] = attribute
+            self._poisoned.discard(code)
+            return
+        if kind != KIND_REPORT:
+            return  # clash notifications are for senders, not us
+
+        self.stats.reports_heard += 1
+        truth = frame.ground_truth if isinstance(frame.ground_truth, dict) else {}
+        if code in self._poisoned or code not in self._bindings:
+            self.stats.reports_undecodable += 1
+            return
+        attribute = self._bindings[code]
+        self.stats.reports_decoded += 1
+        self.decoded.append((attribute, body))
+        if truth.get("attribute") is not None:
+            if truth["attribute"] == attribute:
+                self.stats.reports_correct += 1
+            else:
+                self.stats.reports_misdecoded += 1

@@ -1,0 +1,264 @@
+"""Command-line interface: regenerate the paper from a shell.
+
+::
+
+    python -m repro figure 1                 # analytic figures 1-3 (instant)
+    python -m repro figure 4 --trials 3 --duration 20
+    python -m repro model --data-bits 16 --density 16
+    python -m repro validate                 # quick Figure 4-style check
+    python -m repro scenario hidden-terminal
+    python -m repro report                   # everything, into a directory
+
+Figures print both the numeric table and an ASCII chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import model
+from .experiments import figures as figs
+
+from .experiments.plotting import render_series
+from .experiments.results import Table
+
+__all__ = ["main"]
+
+
+def _print_figure(result: "figs.FigureResult", x_log: bool = False) -> None:
+    print(result.table.render())
+    print()
+    plottable = [s for s in result.series if any(v == v for v in s.y)]
+    print(
+        render_series(
+            plottable,
+            title=result.name,
+            x_label="transaction density T" if x_log else "identifier bits",
+            x_log=x_log,
+        )
+    )
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    number = args.number
+    if number == 1:
+        _print_figure(figs.figure_1())
+    elif number == 2:
+        _print_figure(figs.figure_2())
+    elif number == 3:
+        result = figs.figure_3()
+        # The envelope and fixed-size curves share axes; log-x shows the cliff.
+        _print_figure(result, x_log=True)
+    elif number == 4:
+        result = figs.figure_4(
+            trials=args.trials, duration=args.duration, seed=args.seed
+        )
+        _print_figure(result)
+    else:
+        print(f"no figure {number}; the paper has figures 1-4", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    data_bits = args.data_bits
+    density = args.density
+    best_bits, best_eff = model.optimal_identifier_bits(data_bits, density)
+    table = Table(
+        f"RETRI model: {data_bits}-bit data, transaction density {density}",
+        ["quantity", "value"],
+    )
+    table.add_row("optimal identifier bits", best_bits)
+    table.add_row("efficiency at optimum", best_eff)
+    table.add_row("P(success) at optimum", model.p_success(best_bits, density))
+    table.add_row(
+        "P(success) with listening (1st-order)",
+        model.p_success_listening(best_bits, density),
+    )
+    table.add_row(
+        "lifetime gain vs 32-bit static",
+        model.network_lifetime_gain(data_bits, 32, density),
+    )
+    for static_bits in (16, 32, 48):
+        table.add_row(
+            f"static {static_bits}-bit efficiency",
+            model.efficiency_static(data_bits, static_bits),
+        )
+    crossover = model.crossover_density(data_bits, args.static_bits)
+    table.add_row(
+        f"density where static {args.static_bits}-bit catches up", crossover
+    )
+    print(table.render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .experiments.harness import CollisionTrialConfig, replicate
+
+    print(
+        f"Validation: 5 senders -> 1 receiver, {args.trials} x "
+        f"{args.duration:.0f}s per point (paper: 10 x 120s)"
+    )
+    table = Table(
+        "collision rates",
+        ["id bits", "model T=5", "random", "listening"],
+    )
+    for id_bits in (3, 4, 5, 6, 8):
+        row = [id_bits, float(model.collision_probability(id_bits, 5))]
+        for selector in ("uniform", "listening"):
+            mean, _sd, _ = replicate(
+                CollisionTrialConfig(
+                    id_bits=id_bits,
+                    duration=args.duration,
+                    selector=selector,
+                    seed=args.seed,
+                ),
+                trials=args.trials,
+            )
+            row.append(mean)
+        table.add_row(*row)
+    print(table.render())
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .experiments.report import SCENARIOS, ReportConfig
+
+    entry = SCENARIOS.get(args.name)
+    if entry is None:
+        print(
+            f"unknown scenario {args.name!r}; choose from: "
+            + ", ".join(sorted(SCENARIOS)),
+            file=sys.stderr,
+        )
+        return 2
+    runner, description = entry
+    config = ReportConfig(duration=args.duration, seed=args.seed)
+    result = runner(config)
+    table = Table(f"scenario: {args.name} — {description}", ["metric", "value"])
+    for key, value in result.items():
+        if key == "samples":
+            continue  # trajectories are for the report's JSON, not a table
+        table.add_row(key, value)
+    print(table.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import ReportConfig, generate_report
+
+    written = generate_report(
+        args.output,
+        ReportConfig(trials=args.trials, duration=args.duration, seed=args.seed),
+    )
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.harness import CollisionTrialConfig, run_collision_trial
+    from .experiments.sweep import grid_sweep
+
+    id_bits_values = [int(v) for v in args.id_bits.split(",")]
+    sender_values = [int(v) for v in args.senders.split(",")]
+
+    def trial(id_bits: int, n_senders: int, seed: int) -> float:
+        return run_collision_trial(
+            CollisionTrialConfig(
+                id_bits=id_bits,
+                n_senders=n_senders,
+                duration=args.duration,
+                selector=args.selector,
+                seed=seed,
+            )
+        ).collision_loss_rate
+
+    result = grid_sweep(
+        trial,
+        grid={"id_bits": id_bits_values, "n_senders": sender_values},
+        trials=args.trials,
+        base_seed=args.seed,
+    )
+    table = result.to_table(
+        f"collision-rate sweep ({args.selector} selection, "
+        f"{args.trials} x {args.duration:.0f}s)",
+        value_name="collision rate",
+    )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Random, Ephemeral Transaction Identifiers in "
+        "Dynamic Sensor Networks' (ICDCS 2001)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure (1-4)")
+    fig.add_argument("number", type=int)
+    fig.add_argument("--trials", type=int, default=3)
+    fig.add_argument("--duration", type=float, default=20.0)
+    fig.add_argument("--seed", type=int, default=0)
+    fig.set_defaults(func=_cmd_figure)
+
+    mod = sub.add_parser("model", help="query the analytic model")
+    mod.add_argument("--data-bits", type=int, default=16)
+    mod.add_argument("--density", type=float, default=16.0)
+    mod.add_argument("--static-bits", type=int, default=16)
+    mod.set_defaults(func=_cmd_model)
+
+    val = sub.add_parser("validate", help="quick model-vs-simulation check")
+    val.add_argument("--trials", type=int, default=2)
+    val.add_argument("--duration", type=float, default=15.0)
+    val.add_argument("--seed", type=int, default=0)
+    val.set_defaults(func=_cmd_validate)
+
+    from .experiments.report import SCENARIOS as _scenario_registry
+
+    scen = sub.add_parser("scenario", help="run an extension scenario")
+    scen.add_argument("name", choices=sorted(_scenario_registry))
+    scen.add_argument("--duration", type=float, default=30.0)
+    scen.add_argument("--seed", type=int, default=0)
+    scen.set_defaults(func=_cmd_scenario)
+
+    rep = sub.add_parser("report", help="write every figure + scenario to a dir")
+    rep.add_argument("--output", default="repro-report")
+    rep.add_argument("--trials", type=int, default=2)
+    rep.add_argument("--duration", type=float, default=15.0)
+    rep.add_argument("--seed", type=int, default=0)
+    rep.set_defaults(func=_cmd_report)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="sweep collision trials over identifier sizes and densities",
+    )
+    swp.add_argument(
+        "--id-bits", default="3,4,5,6,8",
+        help="comma-separated identifier sizes",
+    )
+    swp.add_argument(
+        "--senders", default="5", help="comma-separated sender counts"
+    )
+    swp.add_argument("--selector", choices=("uniform", "listening", "oracle"),
+                     default="uniform")
+    swp.add_argument("--trials", type=int, default=2)
+    swp.add_argument("--duration", type=float, default=10.0)
+    swp.add_argument("--seed", type=int, default=0)
+    swp.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,201 @@
+"""Estimating the transaction density ``T`` from local observations.
+
+The listening heuristic needs ``T`` ("we adaptively define 'recently' as
+within the most recent 2T transactions; each node can estimate T based
+on the number of concurrent transactions it observes", Section 5.1), and
+the paper closes by noting it is "investigating more accurate ways of
+estimating the typical transaction density T" — this module implements
+the candidate estimators and the experiment suite compares them against
+the ground-truth time-weighted density.
+
+All estimators consume the same local event stream a node can actually
+observe — "a transaction I can see began/ended at time t" — and answer
+:meth:`DensityEstimator.estimate` at any time:
+
+* :class:`InstantaneousEstimator` — the current visible count.  Unbiased
+  at any instant but noisy: it flaps with every begin/end.
+* :class:`EwmaEstimator` — exponentially weighted moving average of the
+  visible count sampled at transaction begins (what
+  :class:`~repro.core.identifiers.ListeningSelector` uses internally).
+* :class:`WindowedTimeAverageEstimator` — the definitionally correct
+  answer over a sliding window: the time-weighted mean concurrency,
+  forgetting anything older than ``window`` seconds.
+* :class:`LittlesLawEstimator` — ``T = λ · W``: arrival rate of
+  transaction begins times mean transaction duration.  Useful because a
+  node can observe begins (introductions) far more reliably than ends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+__all__ = [
+    "DensityEstimator",
+    "EwmaEstimator",
+    "InstantaneousEstimator",
+    "LittlesLawEstimator",
+    "WindowedTimeAverageEstimator",
+]
+
+
+class DensityEstimator:
+    """Interface: consume begin/end observations, produce a ``T`` estimate."""
+
+    def observe_begin(self, time: float) -> None:
+        raise NotImplementedError
+
+    def observe_end(self, time: float) -> None:
+        raise NotImplementedError
+
+    def estimate(self, time: float) -> float:
+        """Current estimate of the transaction density (>= 1 by convention:
+        a node asking is itself about to start a transaction)."""
+        raise NotImplementedError
+
+
+class InstantaneousEstimator(DensityEstimator):
+    """The currently visible concurrent-transaction count."""
+
+    def __init__(self) -> None:
+        self._visible = 0
+
+    def observe_begin(self, time: float) -> None:
+        self._visible += 1
+
+    def observe_end(self, time: float) -> None:
+        if self._visible > 0:
+            self._visible -= 1
+
+    def estimate(self, time: float) -> float:
+        return float(max(1, self._visible))
+
+
+class EwmaEstimator(DensityEstimator):
+    """EWMA of the visible count, sampled at each begin.
+
+    ``alpha`` trades responsiveness against noise; the selector default
+    (0.2) follows roughly five transactions behind a density change.
+    """
+
+    def __init__(self, alpha: float = 0.2, initial: float = 1.0):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if initial < 1.0:
+            raise ValueError("initial estimate must be >= 1")
+        self.alpha = alpha
+        self._visible = 0
+        self._estimate = float(initial)
+
+    def observe_begin(self, time: float) -> None:
+        self._visible += 1
+        self._estimate += self.alpha * (self._visible - self._estimate)
+
+    def observe_end(self, time: float) -> None:
+        if self._visible > 0:
+            self._visible -= 1
+
+    def estimate(self, time: float) -> float:
+        return max(1.0, self._estimate)
+
+
+class WindowedTimeAverageEstimator(DensityEstimator):
+    """Exact time-weighted mean concurrency over a sliding window.
+
+    Keeps the (time, count) change points inside ``window`` seconds and
+    integrates on demand.  Memory is O(events in window).
+    """
+
+    def __init__(self, window: float = 10.0):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._visible = 0
+        # change points: (time, count-after-change), oldest first
+        self._changes: Deque[Tuple[float, int]] = deque()
+
+    def _record(self, time: float) -> None:
+        self._changes.append((time, self._visible))
+        horizon = time - self.window
+        # Keep one change point at/before the horizon so integration can
+        # reconstruct the level at window start.
+        while len(self._changes) >= 2 and self._changes[1][0] <= horizon:
+            self._changes.popleft()
+
+    def observe_begin(self, time: float) -> None:
+        self._visible += 1
+        self._record(time)
+
+    def observe_end(self, time: float) -> None:
+        if self._visible > 0:
+            self._visible -= 1
+        self._record(time)
+
+    def estimate(self, time: float) -> float:
+        if not self._changes:
+            return 1.0
+        start = time - self.window
+        integral = 0.0
+        # Level before the first retained change point extends to `start`.
+        prev_time, prev_level = self._changes[0]
+        prev_time = max(prev_time, start)
+        for change_time, level in list(self._changes)[1:]:
+            if change_time <= start:
+                prev_time, prev_level = max(change_time, start), level
+                continue
+            integral += prev_level * (change_time - prev_time)
+            prev_time, prev_level = change_time, level
+        integral += prev_level * max(0.0, time - prev_time)
+        span = min(self.window, max(time - self._changes[0][0], 1e-12))
+        return max(1.0, integral / span)
+
+
+class LittlesLawEstimator(DensityEstimator):
+    """``T = λ · W``: begin rate times mean transaction duration.
+
+    Begins are counted over a sliding window to estimate the arrival
+    rate λ; durations come from matching begin/end observations (FIFO —
+    exact for same-length transactions, the model's own assumption).
+    When no end has ever been seen, falls back to the instantaneous
+    count, because W is unknown.
+    """
+
+    def __init__(self, window: float = 20.0, duration_ewma_alpha: float = 0.3):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 0.0 < duration_ewma_alpha <= 1.0:
+            raise ValueError("duration_ewma_alpha must be in (0, 1]")
+        self.window = window
+        self.alpha = duration_ewma_alpha
+        self._begins: Deque[float] = deque()
+        self._open: Deque[float] = deque()
+        self._mean_duration: Optional[float] = None
+        self._visible = 0
+
+    def observe_begin(self, time: float) -> None:
+        self._visible += 1
+        self._begins.append(time)
+        self._open.append(time)
+        horizon = time - self.window
+        while self._begins and self._begins[0] < horizon:
+            self._begins.popleft()
+
+    def observe_end(self, time: float) -> None:
+        if self._visible > 0:
+            self._visible -= 1
+        if self._open:
+            duration = max(0.0, time - self._open.popleft())
+            if self._mean_duration is None:
+                self._mean_duration = duration
+            else:
+                self._mean_duration += self.alpha * (duration - self._mean_duration)
+
+    def estimate(self, time: float) -> float:
+        if self._mean_duration is None or not self._begins:
+            return float(max(1, self._visible))
+        horizon = time - self.window
+        while self._begins and self._begins[0] < horizon:
+            self._begins.popleft()
+        observed_span = min(self.window, max(time - self._begins[0], 1e-12))
+        rate = len(self._begins) / observed_span
+        return max(1.0, rate * self._mean_duration)

@@ -1,0 +1,289 @@
+"""RETRI identifier spaces and selection algorithms.
+
+The heart of the paper: "whenever a guaranteed-unique identifier is
+needed, an ephemeral, randomly selected, probabilistically-unique
+identifier can be used instead" (Section 3.1).
+
+Three selectors implement the spectrum the paper analyses and measures:
+
+* :class:`UniformSelector` — "the simplest and most pessimistic
+  scenario in which every node picks its transaction identifiers
+  uniformly from the identifier space without regard to any learned
+  state" (Section 4.1).  This is the regime Eq. 4 bounds.
+* :class:`ListeningSelector` — the Section 5.1 heuristic: avoid
+  identifiers heard "within the most recent 2T transactions", with ``T``
+  estimated online from observed concurrency.
+* :class:`OracleSelector` — perfect knowledge of all live identifiers; a
+  lower bound on collisions that no real selector can beat.
+
+Selectors are deliberately tiny state machines with a uniform interface
+so protocol drivers, the transaction tracker, and the experiment harness
+can swap them freely.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, Optional, Set
+
+__all__ = [
+    "IdentifierSpace",
+    "IdentifierSelector",
+    "ListeningSelector",
+    "OracleSelector",
+    "UniformSelector",
+]
+
+
+class IdentifierSpace:
+    """The pool of ``2**bits`` identifiers RETRI draws from.
+
+    Identifier *size* is the central design knob: too few bits and
+    collisions destroy transactions; too many and header overhead
+    squanders energy (Figure 1's peak).
+    """
+
+    def __init__(self, bits: int):
+        if bits < 0:
+            raise ValueError("identifier size must be >= 0 bits")
+        if bits > 62:
+            raise ValueError("identifier sizes above 62 bits are not supported")
+        self.bits = bits
+        self.size = 1 << bits
+
+    def __contains__(self, identifier: int) -> bool:
+        return 0 <= identifier < self.size
+
+    def sample(self, rng: random.Random) -> int:
+        """One uniform draw from the full space."""
+        return rng.randrange(self.size)
+
+    def sample_avoiding(self, rng: random.Random, avoid: Set[int]) -> int:
+        """Uniform draw from the space minus ``avoid``.
+
+        Falls back to a plain uniform draw when ``avoid`` covers the
+        whole space — a saturated pool leaves no better option, matching
+        the paper's observation that listening "is usually not as helpful
+        as making the size of the identifier pool larger".
+        """
+        if len(avoid) >= self.size:
+            return self.sample(rng)
+        # Rejection sampling: expected iterations = size / (size - |avoid|),
+        # cheap until the pool is nearly saturated; then enumerate.
+        if len(avoid) * 2 < self.size:
+            while True:
+                candidate = rng.randrange(self.size)
+                if candidate not in avoid:
+                    return candidate
+        free = [i for i in range(self.size) if i not in avoid]
+        return rng.choice(free)
+
+    def __repr__(self) -> str:
+        return f"IdentifierSpace(bits={self.bits})"
+
+
+class IdentifierSelector:
+    """Interface shared by all selection algorithms.
+
+    ``select()`` draws an identifier for a new transaction.
+    ``observe(identifier)`` reports one heard on the air (promiscuous
+    listening).  ``note_transaction_begin/end`` report changes in the
+    number of concurrent transactions the node can see, which adaptive
+    selectors use to estimate the density ``T``.
+    """
+
+    def __init__(self, space: IdentifierSpace, rng: Optional[random.Random] = None):
+        self.space = space
+        self.rng = rng or random.Random()
+        self.selections = 0
+
+    def select(self) -> int:
+        raise NotImplementedError
+
+    def observe(self, identifier: int) -> None:
+        """A transaction identifier was heard on the air.  Default: ignore."""
+
+    def note_transaction_begin(self, identifier: int) -> None:
+        """A visible transaction began (own or overheard).  Default: ignore."""
+
+    def note_transaction_end(self, identifier: int) -> None:
+        """A visible transaction ended.  Default: ignore."""
+
+    def note_collision(self, identifier: int) -> None:
+        """A receiver reported a collision on ``identifier`` (Section 3.2's
+        explicit notification).  Default: ignore."""
+
+
+class UniformSelector(IdentifierSelector):
+    """Memoryless uniform selection — the Eq. 4 regime."""
+
+    def select(self) -> int:
+        self.selections += 1
+        return self.space.sample(self.rng)
+
+    def __repr__(self) -> str:
+        return f"UniformSelector({self.space!r})"
+
+
+class ListeningSelector(IdentifierSelector):
+    """Avoid identifiers heard within the most recent ``2T`` transactions.
+
+    Implements the experiment's heuristic (Section 5.1): "transmitters
+    did not use identifiers they had recently heard in use by other
+    transmitters.  The choice of identifier was picked uniformly from
+    [the] pool of not-recently-used identifiers.  We adaptively define
+    'recently' as within the most recent 2T transactions; each node can
+    estimate T based on the number of concurrent transactions it
+    observes."
+
+    Density estimation
+    ------------------
+    ``note_transaction_begin`` / ``note_transaction_end`` maintain the
+    currently visible concurrent-transaction count; an exponentially
+    weighted moving average of that count (sampled at each begin) is the
+    node's running estimate of ``T``.  A ``density_hint`` seeds the
+    estimate, and ``fixed_window`` pins the avoidance window outright for
+    controlled experiments.
+    """
+
+    def __init__(
+        self,
+        space: IdentifierSpace,
+        rng: Optional[random.Random] = None,
+        density_hint: float = 1.0,
+        window_factor: float = 2.0,
+        ewma_alpha: float = 0.2,
+        fixed_window: Optional[int] = None,
+    ):
+        super().__init__(space, rng)
+        if density_hint < 1:
+            raise ValueError("density_hint must be >= 1")
+        if window_factor <= 0:
+            raise ValueError("window_factor must be positive")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if fixed_window is not None and fixed_window < 0:
+            raise ValueError("fixed_window must be >= 0")
+        self.window_factor = window_factor
+        self.ewma_alpha = ewma_alpha
+        self.fixed_window = fixed_window
+        self._density_estimate = float(density_hint)
+        self._visible_now = 0
+        # Recently heard identifiers, most recent last.  Kept longer than
+        # any plausible window; trimmed at select() time to the live window.
+        self._heard: Deque[int] = deque(maxlen=4096)
+        # Identifiers a receiver explicitly flagged as colliding, mapped to
+        # how many of our future selections should still avoid them.
+        self._poisoned: Dict[int, int] = {}
+        self.avoided_total = 0
+        self.collisions_reported = 0
+
+    # -- observation ---------------------------------------------------
+    def observe(self, identifier: int) -> None:
+        if identifier not in self.space:
+            return  # garbage on the air; nothing useful to learn
+        self._heard.append(identifier)
+
+    def note_transaction_begin(self, identifier: int) -> None:
+        self._visible_now += 1
+        # Sample the concurrency signal at begins: that is when a node
+        # actually observes "how many transactions are going on".
+        self._density_estimate += self.ewma_alpha * (
+            self._visible_now - self._density_estimate
+        )
+
+    def note_transaction_end(self, identifier: int) -> None:
+        if self._visible_now > 0:
+            self._visible_now -= 1
+
+    def note_collision(self, identifier: int) -> None:
+        """Avoid an explicitly reported colliding identifier for a while.
+
+        The notification carries information passive listening could not
+        (the collision may involve a hidden sender), so it outlasts the
+        sliding window: the identifier stays avoided for the next
+        ``2 * avoid_window`` of this node's selections (at least 4, even
+        when the window is degenerate).
+        """
+        if identifier not in self.space:
+            return
+        self.collisions_reported += 1
+        self._poisoned[identifier] = max(4, 2 * self.avoid_window)
+
+    # -- selection -------------------------------------------------------
+    @property
+    def density_estimate(self) -> float:
+        """Current estimate of the transaction density ``T``."""
+        return self._density_estimate
+
+    @property
+    def avoid_window(self) -> int:
+        """How many recently heard identifiers to avoid (``2T`` adaptive)."""
+        if self.fixed_window is not None:
+            return self.fixed_window
+        return max(1, round(self.window_factor * self._density_estimate))
+
+    def recently_heard(self) -> Set[int]:
+        """The identifiers inside the current avoidance window."""
+        window = self.avoid_window
+        if window == 0:
+            return set()
+        return set(list(self._heard)[-window:])
+
+    def poisoned(self) -> Set[int]:
+        """Identifiers still avoided due to explicit collision reports."""
+        return set(self._poisoned)
+
+    def select(self) -> int:
+        self.selections += 1
+        avoid = self.recently_heard() | set(self._poisoned)
+        self.avoided_total += len(avoid)
+        # Age the poison entries by one selection.
+        for identifier in list(self._poisoned):
+            self._poisoned[identifier] -= 1
+            if self._poisoned[identifier] <= 0:
+                del self._poisoned[identifier]
+        return self.space.sample_avoiding(self.rng, avoid)
+
+    def __repr__(self) -> str:
+        return (
+            f"ListeningSelector({self.space!r}, T~{self._density_estimate:.2f}, "
+            f"window={self.avoid_window})"
+        )
+
+
+class OracleSelector(IdentifierSelector):
+    """Perfect avoidance of all currently active identifiers.
+
+    Shares one global ``active`` set across every selector built from
+    the same :meth:`shared_registry`.  No physical node could implement
+    this (it requires instant global knowledge); it serves as the lower
+    bound on collision rates in ablation benchmarks.
+    """
+
+    def __init__(
+        self,
+        space: IdentifierSpace,
+        rng: Optional[random.Random] = None,
+        active: Optional[Set[int]] = None,
+    ):
+        super().__init__(space, rng)
+        self.active: Set[int] = active if active is not None else set()
+
+    @classmethod
+    def shared_registry(cls) -> Set[int]:
+        """A fresh shared active-identifier set for a group of selectors."""
+        return set()
+
+    def select(self) -> int:
+        self.selections += 1
+        identifier = self.space.sample_avoiding(self.rng, self.active)
+        self.active.add(identifier)
+        return identifier
+
+    def note_transaction_end(self, identifier: int) -> None:
+        self.active.discard(identifier)
+
+    def __repr__(self) -> str:
+        return f"OracleSelector({self.space!r}, active={len(self.active)})"

@@ -1,0 +1,141 @@
+"""JSON persistence for experiment results.
+
+Recorded runs should be comparable across machines and months; these
+helpers serialise the result containers to plain JSON (round-trippable,
+no pickle) so `python -m repro report` output can be archived and
+diffed.  NaN is encoded as the string ``"nan"`` — JSON has no NaN, and
+silently emitting invalid JSON (Python's default) would poison
+downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any, Dict, Union
+
+from .figures import FigureResult
+from .results import Series, Table
+from .sweep import SweepPoint, SweepResult
+
+__all__ = [
+    "figure_from_json",
+    "figure_to_json",
+    "series_from_json",
+    "series_to_json",
+    "sweep_from_json",
+    "sweep_to_json",
+    "save_json",
+    "load_json",
+]
+
+
+def _encode_float(value: float):
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    return value
+
+
+def _decode_float(value) -> float:
+    if value == "nan":
+        return float("nan")
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# Series
+# ----------------------------------------------------------------------
+def series_to_json(series: Series) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "label": series.label,
+        "x": [_encode_float(float(v)) for v in series.x],
+        "y": [_encode_float(float(v)) for v in series.y],
+    }
+    if series.yerr is not None:
+        out["yerr"] = [_encode_float(float(v)) for v in series.yerr]
+    return out
+
+
+def series_from_json(data: Dict[str, Any]) -> Series:
+    return Series(
+        label=data["label"],
+        x=[_decode_float(v) for v in data["x"]],
+        y=[_decode_float(v) for v in data["y"]],
+        yerr=(
+            [_decode_float(v) for v in data["yerr"]]
+            if "yerr" in data
+            else None
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+def figure_to_json(figure: FigureResult) -> Dict[str, Any]:
+    return {
+        "name": figure.name,
+        "series": [series_to_json(s) for s in figure.series],
+        "table": {
+            "title": figure.table.title,
+            "headers": figure.table.headers,
+            "rows": figure.table.rows,
+        },
+    }
+
+
+def figure_from_json(data: Dict[str, Any]) -> FigureResult:
+    table = Table(data["table"]["title"], data["table"]["headers"])
+    table.rows = [list(row) for row in data["table"]["rows"]]
+    return FigureResult(
+        name=data["name"],
+        series=[series_from_json(s) for s in data["series"]],
+        table=table,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+def sweep_to_json(sweep: SweepResult) -> Dict[str, Any]:
+    return {
+        "axes": sweep.axes,
+        "points": [
+            {
+                "params": point.params,
+                "values": [_encode_float(v) for v in point.values],
+                "mean": _encode_float(point.mean),
+                "stdev": _encode_float(point.stdev),
+            }
+            for point in sweep.points
+        ],
+    }
+
+
+def sweep_from_json(data: Dict[str, Any]) -> SweepResult:
+    result = SweepResult(axes=list(data["axes"]))
+    for entry in data["points"]:
+        result.points.append(
+            SweepPoint(
+                params=dict(entry["params"]),
+                values=[_decode_float(v) for v in entry["values"]],
+                mean=_decode_float(entry["mean"]),
+                stdev=_decode_float(entry["stdev"]),
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def save_json(path: Union[str, pathlib.Path], payload: Dict[str, Any]) -> None:
+    """Write a result payload as stable, diffable JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )
+
+
+def load_json(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+    return json.loads(pathlib.Path(path).read_text())

@@ -1,0 +1,159 @@
+"""Terminal (ASCII) rendering of result series.
+
+The reproduction is a terminal-first artifact: benchmarks print tables,
+and this module renders the figures themselves as ASCII charts so a
+user can *see* Figure 1's peak or Figure 4's separation without leaving
+the shell.  Supports linear and log-x axes, multiple overlaid series
+with distinct glyphs, and optional error bars (rendered as vertical
+whiskers when they exceed one cell).
+
+No external plotting dependency — the offline environments this targets
+rarely have one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .results import Series
+
+__all__ = ["AsciiChart", "render_series"]
+
+#: glyphs assigned to series in order
+_GLYPHS = "ox+*#@%&"
+
+
+class AsciiChart:
+    """A character-cell canvas with data-space axes."""
+
+    def __init__(
+        self,
+        width: int = 72,
+        height: int = 20,
+        x_log: bool = False,
+        title: str = "",
+        x_label: str = "",
+        y_label: str = "",
+    ):
+        if width < 16 or height < 6:
+            raise ValueError("chart must be at least 16x6 cells")
+        self.width = width
+        self.height = height
+        self.x_log = x_log
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self._series: List[Series] = []
+
+    def add(self, series: Series) -> None:
+        if len(series.x) == 0:
+            raise ValueError(f"series {series.label!r} is empty")
+        self._series.append(series)
+
+    # ------------------------------------------------------------------
+    def _x_transform(self, x: float) -> float:
+        if self.x_log:
+            if x <= 0:
+                raise ValueError("log-x chart cannot plot x <= 0")
+            return math.log10(x)
+        return x
+
+    def _bounds(self):
+        xs = []
+        ys = []
+        for s in self._series:
+            for x, y in zip(s.x, s.y):
+                if math.isnan(y):
+                    continue
+                xs.append(self._x_transform(x))
+                ys.append(y)
+        if not xs:
+            raise ValueError("nothing to plot")
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        # A little vertical headroom so peaks do not sit on the frame.
+        pad = 0.05 * (y_hi - y_lo)
+        return x_lo, x_hi, y_lo - pad, y_hi + pad
+
+    def render(self) -> str:
+        """Draw all series onto the canvas and return the text."""
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def cell(x: float, y: float):
+            cx = (self._x_transform(x) - x_lo) / (x_hi - x_lo)
+            cy = (y - y_lo) / (y_hi - y_lo)
+            col = min(self.width - 1, max(0, round(cx * (self.width - 1))))
+            row = min(self.height - 1, max(0, round((1 - cy) * (self.height - 1))))
+            return row, col
+
+        for index, series in enumerate(self._series):
+            glyph = _GLYPHS[index % len(_GLYPHS)]
+            for i, (x, y) in enumerate(zip(series.x, series.y)):
+                if math.isnan(y):
+                    continue
+                row, col = cell(x, y)
+                # Error whiskers first so the marker overwrites their center.
+                if series.yerr is not None and i < len(series.yerr):
+                    err = series.yerr[i]
+                    if err > 0:
+                        top, _ = cell(x, min(y + err, y_hi))
+                        bottom, _ = cell(x, max(y - err, y_lo))
+                        for r in range(top, bottom + 1):
+                            if grid[r][col] == " ":
+                                grid[r][col] = "|"
+                grid[row][col] = glyph
+
+        # Assemble with a frame and y-axis tick labels.
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        label_width = 10
+        for row_index, row in enumerate(grid):
+            frac = 1 - row_index / (self.height - 1)
+            value = y_lo + frac * (y_hi - y_lo)
+            if row_index % max(1, (self.height - 1) // 4) == 0 or row_index == self.height - 1:
+                label = f"{value:>{label_width}.4g} |"
+            else:
+                label = " " * label_width + " |"
+            lines.append(label + "".join(row))
+        x_axis = " " * label_width + " +" + "-" * self.width
+        lines.append(x_axis)
+        left = f"{self._format_x(x_lo)}"
+        right = f"{self._format_x(x_hi)}"
+        spacer = " " * max(1, self.width - len(left) - len(right))
+        lines.append(" " * (label_width + 2) + left + spacer + right)
+        if self.x_label:
+            lines.append(" " * (label_width + 2) + self.x_label)
+        legend = "   ".join(
+            f"{_GLYPHS[i % len(_GLYPHS)]} {s.label}" for i, s in enumerate(self._series)
+        )
+        lines.append("  legend: " + legend)
+        return "\n".join(lines)
+
+    def _format_x(self, transformed: float) -> str:
+        if self.x_log:
+            return f"1e{transformed:.1f}"
+        return f"{transformed:.4g}"
+
+
+def render_series(
+    series_list: Sequence[Series],
+    title: str = "",
+    x_label: str = "",
+    width: int = 72,
+    height: int = 20,
+    x_log: bool = False,
+) -> str:
+    """Convenience one-shot: overlay ``series_list`` on one chart."""
+    chart = AsciiChart(
+        width=width, height=height, x_log=x_log, title=title, x_label=x_label
+    )
+    for series in series_list:
+        chart.add(series)
+    return chart.render()

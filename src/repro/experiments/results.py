@@ -1,0 +1,115 @@
+"""Result containers: series, tables, and trial aggregation.
+
+Everything the figure/benchmark layer produces is one of two shapes:
+
+* :class:`Series` — an (x, y) curve with optional per-point error bars,
+  matching one line of a paper figure;
+* :class:`Table` — labelled rows for textual output (what the benchmark
+  harness prints so runs can be eyeballed against the paper).
+
+:func:`aggregate_trials` turns replicated trial measurements into
+mean ± standard deviation, the paper's Figure 4 error-bar convention
+("the error bars represent the standard deviation from the mean for
+each trial").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Series", "Table", "aggregate_trials"]
+
+
+@dataclass
+class Series:
+    """One labelled curve: x values, y values, optional error bars."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    yerr: Optional[List[float]] = None
+
+    def append(self, x: float, y: float, yerr: Optional[float] = None) -> None:
+        self.x.append(x)
+        self.y.append(y)
+        if yerr is not None:
+            if self.yerr is None:
+                self.yerr = []
+            self.yerr.append(yerr)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def peak(self) -> Tuple[float, float]:
+        """(x, y) at the maximum y — e.g. AFF's optimal identifier size."""
+        if not self.y:
+            raise ValueError(f"series {self.label!r} is empty")
+        index = max(range(len(self.y)), key=lambda i: self.y[i])
+        return self.x[index], self.y[index]
+
+    def at(self, x: float) -> float:
+        """y at an exact x (raises if x was not sampled)."""
+        try:
+            return self.y[self.x.index(x)]
+        except ValueError:
+            raise KeyError(f"x={x} not sampled in series {self.label!r}") from None
+
+
+class Table:
+    """Plain-text result table for benchmark output."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells; table has {len(self.headers)} columns"
+            )
+        self.rows.append([_format_cell(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, ""]
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value != 0 and abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def aggregate_trials(values: Sequence[float]) -> Tuple[float, float]:
+    """(mean, sample standard deviation) over replicated trials.
+
+    NaN inputs are excluded (a trial with no receivable packets cannot
+    report a rate).  With one usable value the deviation is 0.
+    """
+    usable = [v for v in values if not math.isnan(v)]
+    if not usable:
+        return float("nan"), float("nan")
+    mean = sum(usable) / len(usable)
+    if len(usable) < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in usable) / (len(usable) - 1)
+    return mean, math.sqrt(variance)

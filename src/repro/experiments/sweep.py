@@ -1,0 +1,126 @@
+"""Generic parameter sweeps with replication.
+
+The benchmarks all share one shape: run a trial function over a grid of
+parameter combinations, replicate each point over seeds, and aggregate a
+scalar observable into mean ± stddev.  :func:`grid_sweep` factors that
+shape out, so new experiments are a dictionary away::
+
+    result = grid_sweep(
+        lambda id_bits, seed: run_collision_trial(
+            CollisionTrialConfig(id_bits=id_bits, seed=seed, duration=10.0)
+        ).collision_loss_rate,
+        grid={"id_bits": [3, 4, 5]},
+        trials=5,
+    )
+    result.mean(id_bits=4)   # aggregated observable at that point
+
+Points are evaluated deterministically: replicate ``k`` of a point gets
+``seed = base_seed + 1000*k`` (matching the harness's convention), and
+grid order is the cartesian product in the order given.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from .results import Table, aggregate_trials
+
+__all__ = ["SweepPoint", "SweepResult", "grid_sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated grid point."""
+
+    params: Dict[str, Any]
+    values: List[float]
+    mean: float
+    stdev: float
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep, queryable by parameter values."""
+
+    axes: List[str]
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def point(self, **params: Any) -> SweepPoint:
+        """The point whose parameters match ``params`` exactly."""
+        for point in self.points:
+            if all(point.params.get(k) == v for k, v in params.items()):
+                return point
+        raise KeyError(f"no sweep point matching {params!r}")
+
+    def mean(self, **params: Any) -> float:
+        return self.point(**params).mean
+
+    def stdev(self, **params: Any) -> float:
+        return self.point(**params).stdev
+
+    def series(self, x_axis: str, **fixed: Any):
+        """Extract an (x, mean, stdev) series along one axis."""
+        from .results import Series
+
+        out = Series(label=", ".join(f"{k}={v}" for k, v in fixed.items()) or x_axis)
+        for point in self.points:
+            if all(point.params.get(k) == v for k, v in fixed.items()):
+                out.append(point.params[x_axis], point.mean, yerr=point.stdev)
+        return out
+
+    def to_table(self, title: str, value_name: str = "value") -> Table:
+        table = Table(title, self.axes + [f"{value_name} mean", "stdev", "n"])
+        for point in self.points:
+            table.add_row(
+                *[point.params[axis] for axis in self.axes],
+                point.mean,
+                point.stdev,
+                len(point.values),
+            )
+        return table
+
+
+def grid_sweep(
+    trial_fn: Callable[..., float],
+    grid: Mapping[str, Sequence[Any]],
+    trials: int = 1,
+    base_seed: int = 0,
+    seed_param: str = "seed",
+) -> SweepResult:
+    """Evaluate ``trial_fn`` over the cartesian grid with replication.
+
+    Parameters
+    ----------
+    trial_fn:
+        Called as ``trial_fn(**params, seed=...)``; must return a float
+        observable (NaN replicates are excluded from aggregation).
+    grid:
+        Mapping of parameter name -> values to sweep.
+    trials:
+        Replicates per point; replicate ``k`` receives
+        ``base_seed + 1000*k`` as its seed.
+    seed_param:
+        Name of the seed keyword (set to None-like '' to disable seeding
+        for deterministic trial functions).
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if not grid:
+        raise ValueError("grid must have at least one axis")
+    axes = list(grid)
+    result = SweepResult(axes=axes)
+    for combo in itertools.product(*(grid[axis] for axis in axes)):
+        params = dict(zip(axes, combo))
+        values = []
+        for k in range(trials):
+            kwargs = dict(params)
+            if seed_param:
+                kwargs[seed_param] = base_seed + 1000 * k
+            values.append(float(trial_fn(**kwargs)))
+        mean, stdev = aggregate_trials(values)
+        result.points.append(
+            SweepPoint(params=params, values=values, mean=mean, stdev=stdev)
+        )
+    return result

@@ -1,0 +1,25 @@
+"""Packet structures, checksums, and reassembly machinery."""
+
+from .checksum import (
+    ChecksumFn,
+    checksum_by_name,
+    crc16_ccitt,
+    fletcher16,
+    internet_checksum,
+)
+from .packets import BitBudget, Packet, next_packet_seq
+from .reassembly import PartialPacket, ReassemblyBuffer, ReassemblyStats
+
+__all__ = [
+    "BitBudget",
+    "ChecksumFn",
+    "Packet",
+    "PartialPacket",
+    "ReassemblyBuffer",
+    "ReassemblyStats",
+    "checksum_by_name",
+    "crc16_ccitt",
+    "fletcher16",
+    "internet_checksum",
+    "next_packet_seq",
+]

@@ -1,0 +1,44 @@
+"""Simulated low-power broadcast radio substrate.
+
+Replaces the paper's physical Radiometrix RPC testbed: 27-byte frames,
+broadcast to everything in range, simple MACs, per-bit energy costs, and
+parametric link-loss models.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from .channel import (
+    BernoulliChannel,
+    Channel,
+    GilbertElliottChannel,
+    PerfectChannel,
+)
+from .energy import RPC_PROFILE, WIFI_LIKE_PROFILE, EnergyMeter, EnergyModel
+from .frame import RPC_MAX_FRAME_BYTES, Frame, FrameTooLargeError
+from .impairments import ImpairmentStats, ReceiveImpairments
+from .mac import AlohaMac, CsmaMac, Mac, SlottedMac
+from .medium import BroadcastMedium, MediumStats, Transmission
+from .radio import Radio
+
+__all__ = [
+    "AlohaMac",
+    "BernoulliChannel",
+    "BroadcastMedium",
+    "Channel",
+    "CsmaMac",
+    "EnergyMeter",
+    "EnergyModel",
+    "Frame",
+    "FrameTooLargeError",
+    "GilbertElliottChannel",
+    "ImpairmentStats",
+    "Mac",
+    "ReceiveImpairments",
+    "MediumStats",
+    "PerfectChannel",
+    "RPC_MAX_FRAME_BYTES",
+    "RPC_PROFILE",
+    "Radio",
+    "SlottedMac",
+    "Transmission",
+    "WIFI_LIKE_PROFILE",
+]

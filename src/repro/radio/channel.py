@@ -1,0 +1,117 @@
+"""Per-link loss models.
+
+The paper leans on the observation that sensor networks "must already be
+highly robust to existing common sources of loss" — RF collisions, node
+dynamics, connectivity churn.  These channel models inject exactly that
+background loss so experiments can confirm that identifier collisions
+add only a small *marginal* loss on top (Section 3.1).
+
+* :class:`PerfectChannel` — no loss: isolates identifier collisions.
+* :class:`BernoulliChannel` — i.i.d. frame loss with probability ``p``.
+* :class:`GilbertElliottChannel` — two-state bursty loss (good/bad),
+  modelling fading: losses arrive in bursts rather than independently,
+  which stresses reassembly differently (whole packets vanish vs single
+  fragments).
+"""
+
+from __future__ import annotations
+
+import random
+__all__ = [
+    "BernoulliChannel",
+    "Channel",
+    "GilbertElliottChannel",
+    "PerfectChannel",
+]
+
+
+class Channel:
+    """Decides, per frame per receiver, whether delivery succeeds."""
+
+    def deliver(self, rng: random.Random) -> bool:
+        """Return True to deliver the frame, False to drop it."""
+        raise NotImplementedError
+
+
+class PerfectChannel(Channel):
+    """Never drops.  The default for model-validation experiments."""
+
+    def deliver(self, rng: random.Random) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "PerfectChannel()"
+
+
+class BernoulliChannel(Channel):
+    """Drops each frame independently with probability ``loss_rate``."""
+
+    def __init__(self, loss_rate: float):
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0,1], got {loss_rate}")
+        self.loss_rate = loss_rate
+
+    def deliver(self, rng: random.Random) -> bool:
+        return rng.random() >= self.loss_rate
+
+    def __repr__(self) -> str:
+        return f"BernoulliChannel(loss_rate={self.loss_rate})"
+
+
+class GilbertElliottChannel(Channel):
+    """Two-state Markov (Gilbert–Elliott) bursty loss model.
+
+    In the *good* state frames are lost with ``good_loss`` (usually ~0);
+    in the *bad* state with ``bad_loss`` (usually ~1).  Transitions
+    happen per frame with probabilities ``p_good_to_bad`` and
+    ``p_bad_to_good``.  The stationary loss rate is::
+
+        pi_bad = p_gb / (p_gb + p_bg)
+        loss   = pi_good * good_loss + pi_bad * bad_loss
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        good_loss: float = 0.0,
+        bad_loss: float = 1.0,
+    ):
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("good_loss", good_loss),
+            ("bad_loss", bad_loss),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {p}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self._bad = False
+
+    def deliver(self, rng: random.Random) -> bool:
+        # Advance the state first, then sample loss in the new state.
+        if self._bad:
+            if rng.random() < self.p_bad_to_good:
+                self._bad = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self._bad = True
+        loss = self.bad_loss if self._bad else self.good_loss
+        return rng.random() >= loss
+
+    def stationary_loss_rate(self) -> float:
+        """Long-run expected frame loss probability."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0:
+            return self.bad_loss if self._bad else self.good_loss
+        pi_bad = self.p_good_to_bad / denom
+        return (1 - pi_bad) * self.good_loss + pi_bad * self.bad_loss
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottChannel(p_gb={self.p_good_to_bad}, "
+            f"p_bg={self.p_bad_to_good}, loss~{self.stationary_loss_rate():.3f})"
+        )

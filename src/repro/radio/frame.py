@@ -1,0 +1,88 @@
+"""Radio frames with exact bit accounting.
+
+A :class:`Frame` is what actually crosses the air: an opaque byte
+payload (built by the protocol layer's wire codec) plus accounting
+metadata.  The Radiometrix RPC that the paper's testbed used accepts
+frames of at most 27 bytes and broadcasts them to every radio in range;
+:data:`RPC_MAX_FRAME_BYTES` captures that limit and the default radio
+profile enforces it.
+
+Frames also carry ground-truth instrumentation fields (``origin``,
+``ground_truth``) that the *medium and harness* may read but protocol
+receivers must not — they model the paper's instrumented driver, where a
+guaranteed-unique node id rode along purely to measure what AFF alone
+would have lost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Frame", "RPC_MAX_FRAME_BYTES", "FrameTooLargeError"]
+
+#: Maximum payload of a Radiometrix RPC frame (Section 4.4 / 5 of the paper).
+RPC_MAX_FRAME_BYTES = 27
+
+_frame_seq = itertools.count(1)
+
+
+class FrameTooLargeError(ValueError):
+    """Raised when a frame exceeds the radio's maximum frame size."""
+
+
+@dataclass
+class Frame:
+    """One over-the-air frame.
+
+    Attributes
+    ----------
+    payload:
+        The bytes handed to the radio.  All protocol structure
+        (identifiers, offsets, checksums) lives in here — the radio and
+        medium never interpret it.
+    origin:
+        Ground-truth sender node id (instrumentation; also used by the
+        medium to find the sender's neighbours).
+    header_bits / payload_bits:
+        Split of the payload's bits into protocol header vs useful data,
+        reported by the protocol layer so :class:`~repro.net.packets.BitBudget`
+        ledgers stay exact.  They must sum to ``8 * len(payload)``.
+    ground_truth:
+        Free-form instrumentation payload (e.g. the true packet key).
+    seq:
+        Unique frame number for tracing.
+    """
+
+    payload: bytes
+    origin: int
+    header_bits: int = 0
+    payload_bits: int = 0
+    ground_truth: Any = None
+    seq: int = field(default_factory=lambda: next(_frame_seq))
+
+    def __post_init__(self) -> None:
+        total = 8 * len(self.payload)
+        if self.header_bits == 0 and self.payload_bits == 0:
+            # Caller did not split: count everything as header (conservative).
+            self.header_bits = total
+        if self.header_bits + self.payload_bits != total:
+            raise ValueError(
+                f"bit split {self.header_bits}+{self.payload_bits} != "
+                f"{total} payload bits"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def size_bits(self) -> int:
+        return 8 * len(self.payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Frame seq={self.seq} origin={self.origin} "
+            f"{len(self.payload)}B hdr={self.header_bits}b>"
+        )

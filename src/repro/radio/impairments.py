@@ -1,0 +1,101 @@
+"""Receive-path failure injection: duplicates and reordering.
+
+Real radio drivers deliver duplicated frames (retransmission overlap,
+capture glitches) and occasionally reorder them (interrupt coalescing in
+the host).  The paper's robustness stance — protocols "must already be
+highly robust" to such vagaries — is only credible if tested, so
+:class:`ReceiveImpairments` wraps a radio's receive path and injects
+both faults probabilistically and deterministically (seeded).
+
+The medium's loss/collision models handle *drops*; this handles the
+faults that deliver wrong *copies* or wrong *order*.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.engine import Simulator
+from .frame import Frame
+from .radio import Radio
+
+__all__ = ["ImpairmentStats", "ReceiveImpairments"]
+
+
+@dataclass
+class ImpairmentStats:
+    """What the injector actually did."""
+
+    frames_seen: int = 0
+    duplicates_injected: int = 0
+    frames_delayed: int = 0
+
+
+class ReceiveImpairments:
+    """Wraps ``radio``'s receive handler with fault injection.
+
+    Parameters
+    ----------
+    radio:
+        The radio to impair.  Install this wrapper *after* the protocol
+        driver binds its handler; the wrapper interposes transparently.
+    duplicate_prob:
+        Each received frame is delivered a second time with this
+        probability, ``duplicate_delay`` seconds later.
+    reorder_prob:
+        Each received frame is held back ``reorder_delay`` seconds with
+        this probability, letting later frames overtake it.
+    rng:
+        Dedicated random stream (determinism).
+    """
+
+    def __init__(
+        self,
+        radio: Radio,
+        duplicate_prob: float = 0.0,
+        reorder_prob: float = 0.0,
+        duplicate_delay: float = 0.005,
+        reorder_delay: float = 0.02,
+        rng: Optional[random.Random] = None,
+    ):
+        for name, p in (("duplicate_prob", duplicate_prob),
+                        ("reorder_prob", reorder_prob)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if duplicate_delay < 0 or reorder_delay < 0:
+            raise ValueError("delays must be >= 0")
+        self.radio = radio
+        self.duplicate_prob = duplicate_prob
+        self.reorder_prob = reorder_prob
+        self.duplicate_delay = duplicate_delay
+        self.reorder_delay = reorder_delay
+        self.rng = rng or random.Random()
+        self.stats = ImpairmentStats()
+        self._inner = radio._handler
+        if self._inner is None:
+            raise ValueError(
+                "bind the protocol driver's handler before installing "
+                "ReceiveImpairments"
+            )
+        radio.set_receive_handler(self._on_frame)
+
+    @property
+    def _sim(self) -> Simulator:
+        return self.radio.medium.sim
+
+    def _on_frame(self, frame: Frame) -> None:
+        self.stats.frames_seen += 1
+        if self.reorder_prob and self.rng.random() < self.reorder_prob:
+            self.stats.frames_delayed += 1
+            self._sim.schedule(self.reorder_delay, self._inner, frame)
+        else:
+            self._inner(frame)
+        if self.duplicate_prob and self.rng.random() < self.duplicate_prob:
+            self.stats.duplicates_injected += 1
+            self._sim.schedule(self.duplicate_delay, self._inner, frame)
+
+    def remove(self) -> None:
+        """Restore the original handler (stop injecting)."""
+        self.radio.set_receive_handler(self._inner)

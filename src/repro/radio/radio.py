@@ -1,0 +1,145 @@
+"""The radio device: a node's transceiver.
+
+Modelled on the paper's Radiometrix RPC packet controller: accepts
+frames up to a small maximum size (27 bytes by default), broadcasts them
+to everything in range, and hands received frames up to the host.
+
+Two receive paths exist on purpose:
+
+* the **handler** — the bound protocol driver (AFF, static baseline);
+* **listeners** — promiscuous taps.  The listening identifier-selection
+  heuristic (Section 3.2) registers here: "each transmitter also acts as
+  a receiver, listening to packets transmitted by other nodes."
+
+Energy is charged per frame on both transmit and receive via the node's
+:class:`~repro.radio.energy.EnergyMeter`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .energy import EnergyMeter, EnergyModel, RPC_PROFILE
+from .frame import Frame, FrameTooLargeError, RPC_MAX_FRAME_BYTES
+from .mac import AlohaMac, Mac
+from .medium import BroadcastMedium
+
+__all__ = ["Radio"]
+
+ReceiveHandler = Callable[[Frame], None]
+
+
+class Radio:
+    """A node's radio, attached to a :class:`BroadcastMedium`.
+
+    Parameters
+    ----------
+    medium:
+        The shared air.
+    node_id:
+        Must also exist in the medium's topology for anyone to hear us.
+    max_frame_bytes:
+        Hardware frame cap; :meth:`send` refuses larger frames (the
+        protocol layer is responsible for fragmenting to fit).
+    mac:
+        Medium-access strategy; defaults to a fresh :class:`AlohaMac`.
+    energy_model:
+        Cost parameters for the node's :class:`EnergyMeter`.
+    """
+
+    def __init__(
+        self,
+        medium: BroadcastMedium,
+        node_id: int,
+        max_frame_bytes: int = RPC_MAX_FRAME_BYTES,
+        mac: Optional[Mac] = None,
+        energy_model: EnergyModel = RPC_PROFILE,
+    ):
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be >= 1")
+        self.medium = medium
+        self.node_id = node_id
+        self.max_frame_bytes = max_frame_bytes
+        self.mac = mac if mac is not None else AlohaMac()
+        self.mac.bind(self)
+        self.energy = EnergyMeter(energy_model)
+        self._handler: Optional[ReceiveHandler] = None
+        self._listeners: List[ReceiveHandler] = []
+        self._tx_listeners: List[ReceiveHandler] = []
+        self.frames_sent = 0
+        self.frames_received = 0
+        medium.attach(node_id, self)
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def send(self, frame: Frame) -> None:
+        """Queue a frame for transmission through the MAC.
+
+        Raises
+        ------
+        FrameTooLargeError
+            If the frame exceeds the hardware maximum — fragmentation is
+            the layer above's job, exactly as with the real RPC.
+        """
+        if frame.size_bytes > self.max_frame_bytes:
+            raise FrameTooLargeError(
+                f"frame is {frame.size_bytes}B; radio max is {self.max_frame_bytes}B"
+            )
+        if frame.origin != self.node_id:
+            raise ValueError(
+                f"frame.origin={frame.origin} but this radio is node {self.node_id}"
+            )
+        self.mac.enqueue(frame)
+
+    def _transmit_now(self, frame: Frame) -> float:
+        """(MAC-internal) put the frame on the air.  Returns airtime."""
+        self.energy.charge_tx(frame.size_bits)
+        self.frames_sent += 1
+        airtime = self.medium.transmit(frame)
+        for listener in self._tx_listeners:
+            listener(frame)
+        return airtime
+
+    def add_tx_listener(self, listener: ReceiveHandler) -> None:
+        """Tap invoked when one of our frames actually starts transmitting.
+
+        Drivers use this to learn when the MAC drained their fragments
+        (the MAC may queue frames arbitrarily long under contention).
+        """
+        self._tx_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def set_receive_handler(self, handler: ReceiveHandler) -> None:
+        """Bind the protocol driver that consumes received frames."""
+        self._handler = handler
+
+    def add_listener(self, listener: ReceiveHandler) -> None:
+        """Add a promiscuous tap (e.g. the listening id selector)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: ReceiveHandler) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _deliver(self, frame: Frame) -> None:
+        """(Medium-internal) a frame arrived intact."""
+        self.energy.charge_rx(frame.size_bits)
+        self.frames_received += 1
+        for listener in self._listeners:
+            listener(frame)
+        if self._handler is not None:
+            self._handler(frame)
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Detach from the medium (node failure / power-down)."""
+        self.medium.detach(self.node_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Radio node={self.node_id} sent={self.frames_sent} "
+            f"recv={self.frames_received}>"
+        )

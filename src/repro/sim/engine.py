@@ -1,0 +1,252 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a classic event-queue simulator: a priority queue of
+timestamped events, a virtual clock, and a run loop.  Everything in the
+reproduction that "happens over time" — frame transmissions, listening
+windows, reassembly timeouts, node churn — is driven by one
+:class:`Simulator` instance.
+
+The design intentionally mirrors the structure of well-known kernels
+(simpy, ns-2's scheduler) but is self-contained:
+
+* :class:`Simulator` owns the clock and the event queue.
+* :meth:`Simulator.schedule` posts a callback at ``now + delay`` and
+  returns an :class:`EventHandle` that can be cancelled.
+* Generator-based *processes* (see :mod:`repro.sim.process`) layer a
+  coroutine API on top of raw callbacks.
+
+Determinism guarantees
+----------------------
+Events scheduled for the same timestamp fire in the order they were
+scheduled (FIFO tie-breaking via a monotonically increasing sequence
+number).  Given identical seeds (:mod:`repro.sim.rng`), a simulation is
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (negative delays, running a closed sim)."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry.
+
+    Ordering is (time, seq): seq breaks ties FIFO so same-time events run
+    in scheduling order, which keeps runs deterministic.
+    """
+
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Cancellation is *lazy*: the heap entry stays queued but is skipped by
+    the run loop.  This keeps :meth:`Simulator.cancel` O(1).
+    """
+
+    __slots__ = ("callback", "args", "cancelled", "time")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        # Drop references promptly so cancelled timers do not pin objects.
+        self.callback = _noop
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not cancelled, not fired)."""
+        return not self.cancelled
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "one second in")
+        sim.run(until=10.0)
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value (seconds).  Defaults to 0.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events that have fired so far."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Post ``callback(*args)`` to fire at ``now + delay``.
+
+        Parameters
+        ----------
+        delay:
+            Non-negative offset from the current clock.  A delay of zero
+            fires after all events already queued for the current time.
+        callback:
+            Any callable.  Exceptions propagate out of :meth:`run`.
+
+        Returns
+        -------
+        EventHandle
+            Cancel it with :meth:`EventHandle.cancel`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        handle = EventHandle(self._now + delay, callback, args)
+        entry = _QueueEntry(time=handle.time, seq=next(self._seq), handle=handle)
+        heapq.heappush(self._queue, entry)
+        return handle
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Post ``callback(*args)`` at an absolute timestamp ``time >= now``."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled event (alias for ``handle.cancel()``)."""
+        handle.cancel()
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns
+        -------
+        bool
+            False if the queue was empty (nothing fired), else True.
+        """
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            if entry.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event queue time went backwards")
+            self._now = entry.time
+            handle.cancelled = True  # mark as fired; no longer cancellable
+            self._events_processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the queue drains, the clock passes ``until``, or
+        ``max_events`` events have fired — whichever comes first.
+
+        Parameters
+        ----------
+        until:
+            Absolute stop time.  Events scheduled exactly at ``until`` DO
+            fire; events strictly after it stay queued and the clock is
+            left at ``until``.
+        max_events:
+            Safety valve for runaway simulations.
+
+        Returns
+        -------
+        float
+            The clock value when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                next_time = self._peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    break
+                if not self.step():
+                    break
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def _peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, discarding cancelled ones."""
+        while self._queue:
+            entry = self._queue[0]
+            if entry.handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return entry.time
+        return None
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.handle.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator now={self._now:.6f} pending={self.pending} "
+            f"processed={self._events_processed}>"
+        )

@@ -1,0 +1,29 @@
+"""Connectivity topologies, churn dynamics, and structural analysis."""
+
+from .analysis import (
+    connected_components,
+    hidden_terminal_fraction,
+    hidden_terminal_pairs,
+    is_connected,
+    mean_degree,
+)
+from .dynamics import ChurnEvent, ChurnProcess, RandomWaypoint
+from .graphs import DiskGraph, ExplicitGraph, FullMesh, Grid, Line, Star, Topology
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnProcess",
+    "DiskGraph",
+    "ExplicitGraph",
+    "FullMesh",
+    "Grid",
+    "Line",
+    "RandomWaypoint",
+    "Star",
+    "Topology",
+    "connected_components",
+    "hidden_terminal_fraction",
+    "hidden_terminal_pairs",
+    "is_connected",
+    "mean_degree",
+]

@@ -1,0 +1,94 @@
+"""Topology analysis helpers: hidden terminals, components, density.
+
+The listening heuristic's blind spot is the *hidden terminal* pair: two
+senders out of each other's range but sharing a receiver (Section 3.2
+footnote).  These helpers quantify how much of a topology is exposed to
+that failure mode, so experiments can correlate listening effectiveness
+with hidden-pair fraction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from .graphs import Topology
+
+__all__ = [
+    "connected_components",
+    "hidden_terminal_fraction",
+    "hidden_terminal_pairs",
+    "is_connected",
+    "mean_degree",
+]
+
+
+def hidden_terminal_pairs(topology: Topology) -> Set[Tuple[int, int, int]]:
+    """All (sender_a, sender_b, receiver) hidden-terminal triples.
+
+    A triple qualifies when ``receiver`` hears both senders but the
+    senders do not hear each other.  Returned with sender pair ordered
+    ``a < b`` to deduplicate.
+    """
+    triples: Set[Tuple[int, int, int]] = set()
+    for receiver in topology.nodes:
+        heard = sorted(topology.neighbors(receiver))
+        for i, a in enumerate(heard):
+            a_neighbors = topology.neighbors(a)
+            for b in heard[i + 1 :]:
+                if b not in a_neighbors:
+                    triples.add((a, b, receiver))
+    return triples
+
+
+def hidden_terminal_fraction(topology: Topology) -> float:
+    """Fraction of co-receiver sender pairs that are mutually hidden.
+
+    0.0 for a full mesh (listening can be perfect); approaches 1.0 for a
+    star (listening is useless).  NaN when no receiver hears two senders.
+    """
+    hidden = 0
+    total = 0
+    for receiver in topology.nodes:
+        heard = sorted(topology.neighbors(receiver))
+        for i, a in enumerate(heard):
+            a_neighbors = topology.neighbors(a)
+            for b in heard[i + 1 :]:
+                total += 1
+                if b not in a_neighbors:
+                    hidden += 1
+    if total == 0:
+        return float("nan")
+    return hidden / total
+
+
+def connected_components(topology: Topology) -> List[Set[int]]:
+    """Connected components via BFS (no networkx dependency needed)."""
+    remaining = set(topology.nodes)
+    components: List[Set[int]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            node = frontier.pop()
+            for peer in topology.neighbors(node):
+                if peer not in component:
+                    component.add(peer)
+                    frontier.append(peer)
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def is_connected(topology: Topology) -> bool:
+    """True when the topology forms a single connected component."""
+    components = connected_components(topology)
+    return len(components) <= 1
+
+
+def mean_degree(topology: Topology) -> float:
+    """Average neighbour count — the spatial density knob."""
+    nodes = topology.nodes
+    if not nodes:
+        return 0.0
+    return sum(topology.degree(n) for n in nodes) / len(nodes)

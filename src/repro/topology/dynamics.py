@@ -1,0 +1,200 @@
+"""Network churn: node joins, failures, and movement over time.
+
+The paper motivates RETRI with *dynamics*: "Over time, sensors may fail
+or new sensors may be added.  Sensors will experience changes in their
+position, reachability, available energy..." (Section 1).  Static and
+dynamically-assigned addresses pay an ongoing cost under churn; RETRI
+does not.  :class:`ChurnProcess` drives a :class:`Topology` through
+join/leave events so the dynamic-allocation baseline's overhead can be
+measured as a function of churn rate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..sim.engine import Simulator
+from .graphs import DiskGraph, Topology
+
+__all__ = ["ChurnEvent", "ChurnProcess", "RandomWaypoint"]
+
+
+class ChurnEvent:
+    """A single join or leave applied to the topology."""
+
+    __slots__ = ("time", "kind", "node")
+
+    def __init__(self, time: float, kind: str, node: int):
+        if kind not in ("join", "leave"):
+            raise ValueError(f"churn kind must be join/leave, not {kind!r}")
+        self.time = time
+        self.kind = kind
+        self.node = node
+
+    def __repr__(self) -> str:
+        return f"ChurnEvent({self.time:.3f}, {self.kind!r}, node={self.node})"
+
+
+class ChurnProcess:
+    """Poisson join/leave churn over a topology.
+
+    Parameters
+    ----------
+    sim, topology:
+        The kernel and the graph to mutate.
+    leave_rate:
+        Per-node departure rate (events/second).  Each live node leaves
+        after an Exp(leave_rate) holding time.
+    join_rate:
+        Network-wide arrival rate of new nodes (events/second).
+    rng:
+        Dedicated random stream.
+    on_change:
+        Optional callback ``(event)`` fired after each applied change —
+        protocols use it to flush per-neighbor state.
+    placer:
+        For :class:`DiskGraph` topologies, a function returning an (x, y)
+        position for a joining node; defaults to uniform placement.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        leave_rate: float = 0.0,
+        join_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        on_change: Optional[Callable[[ChurnEvent], None]] = None,
+        placer: Optional[Callable[[int], tuple]] = None,
+    ):
+        if leave_rate < 0 or join_rate < 0:
+            raise ValueError("churn rates must be >= 0")
+        self.sim = sim
+        self.topology = topology
+        self.leave_rate = leave_rate
+        self.join_rate = join_rate
+        self.rng = rng or random.Random()
+        self.on_change = on_change
+        self.placer = placer
+        self.history: List[ChurnEvent] = []
+        self._next_node_id = (max(topology.nodes) + 1) if topology.nodes else 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the initial timers."""
+        if self.join_rate > 0:
+            self._schedule_join()
+        if self.leave_rate > 0:
+            for node in self.topology.nodes:
+                self._schedule_leave(node)
+
+    def stop(self) -> None:
+        """Prevent any further churn (already-queued events are skipped)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _schedule_join(self) -> None:
+        delay = self.rng.expovariate(self.join_rate)
+        self.sim.schedule(delay, self._do_join)
+
+    def _schedule_leave(self, node: int) -> None:
+        delay = self.rng.expovariate(self.leave_rate)
+        self.sim.schedule(delay, self._do_leave, node)
+
+    def _do_join(self) -> None:
+        if self._stopped:
+            return
+        node = self._next_node_id
+        self._next_node_id += 1
+        if isinstance(self.topology, DiskGraph):
+            if self.placer is not None:
+                x, y = self.placer(node)
+            else:
+                side = self.topology.side
+                x, y = self.rng.uniform(0, side), self.rng.uniform(0, side)
+            self.topology.place(node, x, y)
+        else:
+            self.topology.add_node(node)
+        event = ChurnEvent(self.sim.now, "join", node)
+        self.history.append(event)
+        if self.on_change:
+            self.on_change(event)
+        if self.leave_rate > 0:
+            self._schedule_leave(node)
+        self._schedule_join()
+
+    def _do_leave(self, node: int) -> None:
+        if self._stopped or node not in self.topology:
+            return
+        self.topology.remove_node(node)
+        event = ChurnEvent(self.sim.now, "leave", node)
+        self.history.append(event)
+        if self.on_change:
+            self.on_change(event)
+
+    # ------------------------------------------------------------------
+    def events_in(self, since: float, until: float) -> List[ChurnEvent]:
+        """Churn events with ``since <= time < until``."""
+        return [e for e in self.history if since <= e.time < until]
+
+
+class RandomWaypoint:
+    """Random-waypoint mobility for :class:`DiskGraph` topologies.
+
+    Each step, every node moves toward a private waypoint at ``speed``;
+    on arrival it draws a new waypoint.  Connectivity (and therefore who
+    can *listen* to whom) shifts continuously — the regime where static
+    local address assignment is most expensive.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        graph: DiskGraph,
+        speed: float,
+        step: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if speed < 0:
+            raise ValueError("speed must be >= 0")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.sim = sim
+        self.graph = graph
+        self.speed = speed
+        self.step = step
+        self.rng = rng or random.Random()
+        self._waypoints: dict[int, tuple] = {}
+        self._stopped = False
+
+    def start(self) -> None:
+        self.sim.schedule(self.step, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _waypoint_for(self, node: int) -> tuple:
+        wp = self._waypoints.get(node)
+        if wp is None:
+            side = self.graph.side
+            wp = (self.rng.uniform(0, side), self.rng.uniform(0, side))
+            self._waypoints[node] = wp
+        return wp
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        travel = self.speed * self.step
+        for node in list(self.graph.nodes):
+            x, y = self.graph.position(node)
+            wx, wy = self._waypoint_for(node)
+            dx, dy = wx - x, wy - y
+            dist = (dx * dx + dy * dy) ** 0.5
+            if dist <= travel:
+                self.graph.place(node, wx, wy)
+                del self._waypoints[node]  # arrived; new waypoint next tick
+            else:
+                self.graph.place(node, x + dx / dist * travel, y + dy / dist * travel)
+        self.sim.schedule(self.step, self._tick)

@@ -1,0 +1,253 @@
+"""Connectivity topologies for the simulated radio medium.
+
+A :class:`Topology` answers one question for the broadcast medium: which
+nodes hear a transmission from node ``u``?  Implementations cover the
+scenarios the paper discusses:
+
+* :class:`FullMesh` — the paper's validation testbed ("all of the
+  transmitters and receivers were arranged so that they were fully
+  connected", Section 5.1).
+* :class:`Star` — N senders around one receiver that none of the
+  senders can hear: the canonical hidden-terminal configuration from
+  Section 3.2's footnote.
+* :class:`DiskGraph` — random geometric graph: nodes at 2-D positions,
+  edges when within radio range.  Used for the hidden-terminal and
+  spatial-reuse extensions.
+* :class:`Grid` / :class:`Line` — regular layouts, useful in tests.
+* :class:`ExplicitGraph` — arbitrary adjacency for unit tests.
+
+Topologies are *mutable*: :mod:`repro.topology.dynamics` adds and
+removes nodes and moves them around to model network churn.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+__all__ = [
+    "DiskGraph",
+    "ExplicitGraph",
+    "FullMesh",
+    "Grid",
+    "Line",
+    "Star",
+    "Topology",
+]
+
+
+class Topology:
+    """Base class: a set of node ids plus a neighbour relation."""
+
+    def __init__(self) -> None:
+        self._nodes: Set[int] = set()
+
+    # -- membership ----------------------------------------------------
+    @property
+    def nodes(self) -> FrozenSet[int]:
+        return frozenset(self._nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add_node(self, node: int) -> None:
+        self._nodes.add(node)
+
+    def remove_node(self, node: int) -> None:
+        self._nodes.discard(node)
+
+    # -- connectivity ----------------------------------------------------
+    def neighbors(self, node: int) -> Set[int]:
+        """Nodes that hear a transmission from ``node`` (excludes itself)."""
+        raise NotImplementedError
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when ``b`` hears ``a``.  Symmetric in all built-ins."""
+        return b in self.neighbors(a)
+
+    def edges(self) -> Set[Tuple[int, int]]:
+        """All undirected edges as (min, max) tuples."""
+        out: Set[Tuple[int, int]] = set()
+        for u in self._nodes:
+            for v in self.neighbors(u):
+                out.add((min(u, v), max(u, v)))
+        return out
+
+    def degree(self, node: int) -> int:
+        return len(self.neighbors(node))
+
+
+class FullMesh(Topology):
+    """Every node hears every other node — the paper's testbed layout."""
+
+    def __init__(self, nodes: Iterable[int] = ()):
+        super().__init__()
+        for n in nodes:
+            self.add_node(n)
+
+    def neighbors(self, node: int) -> Set[int]:
+        if node not in self._nodes:
+            return set()
+        return self._nodes - {node}
+
+
+class ExplicitGraph(Topology):
+    """Arbitrary undirected adjacency given as an edge list."""
+
+    def __init__(self, edges: Iterable[Tuple[int, int]] = (), nodes: Iterable[int] = ()):
+        super().__init__()
+        self._adj: Dict[int, Set[int]] = {}
+        for n in nodes:
+            self.add_node(n)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_node(self, node: int) -> None:
+        super().add_node(node)
+        self._adj.setdefault(node, set())
+
+    def remove_node(self, node: int) -> None:
+        super().remove_node(node)
+        for peer in self._adj.pop(node, set()):
+            self._adj[peer].discard(node)
+
+    def add_edge(self, u: int, v: int) -> None:
+        if u == v:
+            raise ValueError("self-loops are not meaningful for a radio graph")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        self._adj.get(u, set()).discard(v)
+        self._adj.get(v, set()).discard(u)
+
+    def neighbors(self, node: int) -> Set[int]:
+        return set(self._adj.get(node, set()))
+
+
+class Star(ExplicitGraph):
+    """One hub hears ``leaves``; leaves do not hear each other.
+
+    With the hub as receiver and leaves as senders, every pair of senders
+    is mutually hidden — listening cannot help them avoid each other's
+    identifiers, reproducing the pathology in Section 3.2.
+    """
+
+    def __init__(self, hub: int, leaves: Iterable[int]):
+        super().__init__()
+        self.hub = hub
+        self.add_node(hub)
+        for leaf in leaves:
+            self.add_edge(hub, leaf)
+
+    @property
+    def leaves(self) -> Set[int]:
+        return self.neighbors(self.hub)
+
+
+class Line(ExplicitGraph):
+    """Nodes 0..n-1 in a path; node i hears i-1 and i+1."""
+
+    def __init__(self, n: int):
+        super().__init__()
+        if n < 1:
+            raise ValueError("Line needs at least one node")
+        self.add_node(0)
+        for i in range(1, n):
+            self.add_edge(i - 1, i)
+
+
+class Grid(ExplicitGraph):
+    """``rows`` x ``cols`` lattice with 4-neighbour connectivity."""
+
+    def __init__(self, rows: int, cols: int):
+        super().__init__()
+        if rows < 1 or cols < 1:
+            raise ValueError("Grid needs positive dimensions")
+        self.rows = rows
+        self.cols = cols
+        for r in range(rows):
+            for c in range(cols):
+                node = self.node_at(r, c)
+                self.add_node(node)
+                if r > 0:
+                    self.add_edge(node, self.node_at(r - 1, c))
+                if c > 0:
+                    self.add_edge(node, self.node_at(r, c - 1))
+
+    def node_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"({row},{col}) outside {self.rows}x{self.cols} grid")
+        return row * self.cols + col
+
+
+class DiskGraph(Topology):
+    """Random geometric graph: nodes in a square, edges within ``radio_range``.
+
+    The defining topology of dense sensor deployments: physical density
+    and radio range — not total network size — determine how many peers a
+    node contends with, which is exactly the locality RETRI exploits.
+    """
+
+    def __init__(self, radio_range: float, side: float = 1.0):
+        super().__init__()
+        if radio_range <= 0:
+            raise ValueError("radio_range must be positive")
+        self.radio_range = radio_range
+        self.side = side
+        self._pos: Dict[int, Tuple[float, float]] = {}
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        radio_range: float,
+        side: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> "DiskGraph":
+        """Scatter ``n`` nodes (ids 0..n-1) uniformly in a ``side``² square."""
+        rng = rng or random.Random()
+        graph = cls(radio_range=radio_range, side=side)
+        for node in range(n):
+            graph.place(node, rng.uniform(0, side), rng.uniform(0, side))
+        return graph
+
+    def place(self, node: int, x: float, y: float) -> None:
+        """Add or move ``node`` to position (x, y)."""
+        self._nodes.add(node)
+        self._pos[node] = (x, y)
+
+    def remove_node(self, node: int) -> None:
+        super().remove_node(node)
+        self._pos.pop(node, None)
+
+    def position(self, node: int) -> Tuple[float, float]:
+        return self._pos[node]
+
+    def distance(self, a: int, b: int) -> float:
+        ax, ay = self._pos[a]
+        bx, by = self._pos[b]
+        return math.hypot(ax - bx, ay - by)
+
+    # -- connectivity ----------------------------------------------------
+    def neighbors(self, node: int) -> Set[int]:
+        if node not in self._pos:
+            return set()
+        return {
+            other
+            for other in self._nodes
+            if other != node and self.distance(node, other) <= self.radio_range
+        }
+
+    def neighborhood_density(self) -> float:
+        """Mean degree — the spatial component of transaction density."""
+        if not self._nodes:
+            return 0.0
+        return sum(self.degree(n) for n in self._nodes) / len(self._nodes)

@@ -1,0 +1,5 @@
+"""Small shared utilities (bit packing, table formatting)."""
+
+from .bits import BitReader, BitWriter, BitstreamError
+
+__all__ = ["BitReader", "BitWriter", "BitstreamError"]

@@ -1,0 +1,96 @@
+"""Bit-level packing for wire formats.
+
+The paper's whole argument is about *bits*: a 9-bit AFF identifier vs a
+16- or 32-bit static address.  Byte-aligned encodings would round those
+savings away, so the AFF wire format bit-packs its headers.
+:class:`BitWriter` and :class:`BitReader` provide MSB-first bit streams
+over bytes, with explicit padding on flush.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitReader", "BitWriter", "BitstreamError"]
+
+
+class BitstreamError(ValueError):
+    """Raised on malformed reads (past end, oversized values)."""
+
+
+class BitWriter:
+    """Accumulates values MSB-first into a byte string.
+
+    ``write(value, bits)`` appends the ``bits`` low-order bits of
+    ``value``.  ``getvalue()`` zero-pads the final partial byte.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accum = 0
+        self._accum_bits = 0
+        self.bits_written = 0
+
+    def write(self, value: int, bits: int) -> "BitWriter":
+        """Append ``bits`` bits of ``value`` (must fit)."""
+        if bits < 0:
+            raise BitstreamError("bit count must be >= 0")
+        if value < 0 or (bits < 63 and value >= (1 << bits)):
+            raise BitstreamError(f"value {value} does not fit in {bits} bits")
+        self._accum = (self._accum << bits) | value
+        self._accum_bits += bits
+        self.bits_written += bits
+        while self._accum_bits >= 8:
+            self._accum_bits -= 8
+            self._buffer.append((self._accum >> self._accum_bits) & 0xFF)
+        self._accum &= (1 << self._accum_bits) - 1
+        return self
+
+    def write_bytes(self, data: bytes) -> "BitWriter":
+        """Append whole bytes (8 bits each, preserving bit alignment)."""
+        for byte in data:
+            self.write(byte, 8)
+        return self
+
+    def getvalue(self) -> bytes:
+        """The packed bytes, final partial byte zero-padded on the right."""
+        out = bytes(self._buffer)
+        if self._accum_bits:
+            out += bytes([(self._accum << (8 - self._accum_bits)) & 0xFF])
+        return out
+
+
+class BitReader:
+    """Reads values MSB-first from a byte string."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._bit_pos = 0
+
+    @property
+    def bits_remaining(self) -> int:
+        return 8 * len(self._data) - self._bit_pos
+
+    def read(self, bits: int) -> int:
+        """Read ``bits`` bits as an unsigned integer."""
+        if bits < 0:
+            raise BitstreamError("bit count must be >= 0")
+        if bits > self.bits_remaining:
+            raise BitstreamError(
+                f"read of {bits} bits with only {self.bits_remaining} remaining"
+            )
+        value = 0
+        remaining = bits
+        while remaining > 0:
+            byte_index, bit_offset = divmod(self._bit_pos, 8)
+            available = 8 - bit_offset
+            take = min(available, remaining)
+            chunk = self._data[byte_index]
+            chunk >>= available - take
+            chunk &= (1 << take) - 1
+            value = (value << take) | chunk
+            self._bit_pos += take
+            remaining -= take
+        return value
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read ``count`` whole bytes."""
+        return bytes(self.read(8) for _ in range(count))

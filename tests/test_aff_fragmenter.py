@@ -1,0 +1,148 @@
+"""Unit and property tests for the AFF fragmenter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aff.fragmenter import Fragmenter
+from repro.aff.reassembler import Reassembler
+from repro.aff.wire import DataFragment, FragmentCodec, IntroFragment
+from repro.net.checksum import crc16_ccitt, fletcher16
+
+
+def make(id_bits=8, mtu=27, checksum=fletcher16):
+    return Fragmenter(FragmentCodec(id_bits), mtu_bytes=mtu, checksum=checksum)
+
+
+class TestFragmentation:
+    def test_paper_80_byte_packet_is_five_fragments(self):
+        """Section 5.1: 'each of these packets were fragmented into five
+        fragments (a single fragment introduction and four data
+        fragments)' on the 27-byte RPC."""
+        frag = make(id_bits=8, mtu=27)
+        plan = frag.fragment(b"\x00" * 80, identifier=1)
+        assert plan.fragment_count == 5
+        assert isinstance(plan.fragments[0], IntroFragment)
+        assert all(isinstance(f, DataFragment) for f in plan.fragments[1:])
+
+    def test_intro_is_always_first_and_describes_packet(self):
+        frag = make()
+        payload = b"sensor data" * 3
+        plan = frag.fragment(payload, identifier=42)
+        intro = plan.fragments[0]
+        assert intro.identifier == 42
+        assert intro.total_length == len(payload)
+        assert intro.checksum == fletcher16(payload)
+
+    def test_all_fragments_share_the_identifier(self):
+        """'Once an identifier is selected for a packet, all of that
+        packet's fragments receive the same identifier' (Section 3.1)."""
+        plan = make().fragment(b"\x00" * 100, identifier=7)
+        assert {f.identifier for f in plan.fragments} == {7}
+
+    def test_offsets_are_contiguous(self):
+        frag = make()
+        payload = bytes(range(256)) * 2
+        plan = frag.fragment(payload, identifier=1)
+        expected_offset = 0
+        for f in plan.fragments[1:]:
+            assert f.offset == expected_offset
+            expected_offset += len(f.payload)
+        assert expected_offset == len(payload)
+
+    def test_empty_payload_is_intro_only(self):
+        plan = make().fragment(b"", identifier=1)
+        assert plan.fragment_count == 1
+
+    def test_every_fragment_fits_the_mtu(self):
+        for id_bits in (0, 4, 9, 16, 32):
+            frag = make(id_bits=id_bits, mtu=27)
+            plan = frag.fragment(b"\xaa" * 500, identifier=0)
+            codec = frag.codec
+            for f in plan.fragments:
+                assert len(codec.encode(f)) <= 27
+
+    def test_oversized_packet_rejected(self):
+        with pytest.raises(ValueError):
+            make().fragment(b"\x00" * 65536, identifier=1)
+
+    def test_mtu_too_small_for_intro_rejected(self):
+        with pytest.raises(ValueError):
+            Fragmenter(FragmentCodec(id_bits=60), mtu_bytes=8)
+
+
+class TestBitAccounting:
+    def test_plan_bits_sum_to_encoded_content(self):
+        frag = make(id_bits=9)
+        payload = b"\x01" * 80
+        plan = frag.fragment(payload, identifier=5)
+        assert plan.payload_bits == 8 * 80
+        expected_header = frag.codec.intro_header_bits + 4 * frag.codec.data_header_bits
+        assert plan.header_bits == expected_header
+
+    def test_fragments_for_size_matches_actual(self):
+        frag = make()
+        for size in (0, 1, 21, 22, 23, 44, 80, 1000):
+            plan = frag.fragment(b"\x00" * size, identifier=0)
+            assert frag.fragments_for_size(size) == plan.fragment_count
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make().fragments_for_size(-1)
+
+
+class TestRoundTripWithReassembler:
+    @settings(max_examples=50)
+    @given(
+        payload=st.binary(min_size=0, max_size=2000),
+        id_bits=st.integers(min_value=0, max_value=24),
+        mtu=st.integers(min_value=12, max_value=64),
+        identifier=st.integers(min_value=0),
+    )
+    def test_fragment_then_reassemble_is_identity(
+        self, payload, id_bits, mtu, identifier
+    ):
+        identifier %= 1 << id_bits if id_bits else 1
+        frag = Fragmenter(FragmentCodec(id_bits), mtu_bytes=mtu)
+        plan = frag.fragment(payload, identifier=identifier)
+        reasm = Reassembler()
+        result = None
+        for fragment in plan.fragments:
+            out = reasm.accept(fragment, now=0.0)
+            if out is not None:
+                result = out
+        assert result == payload
+
+    @settings(max_examples=30)
+    @given(
+        payload=st.binary(min_size=1, max_size=500),
+        seed=st.integers(),
+    )
+    def test_reassembly_handles_any_data_fragment_order(self, payload, seed):
+        """Data fragments may arrive in any order after the introduction."""
+        import random
+
+        frag = make(id_bits=8)
+        plan = frag.fragment(payload, identifier=3)
+        intro, data = plan.fragments[0], list(plan.fragments[1:])
+        random.Random(seed).shuffle(data)
+        reasm = Reassembler()
+        result = reasm.accept(intro, now=0.0)
+        for fragment in data:
+            out = reasm.accept(fragment, now=0.0)
+            if out is not None:
+                result = out
+        assert result == payload
+
+    def test_checksum_mismatch_between_sender_and_receiver_configs(self):
+        """Mismatched checksum functions must fail closed, not deliver."""
+        frag = make(checksum=fletcher16)
+        plan = frag.fragment(b"payload bytes here", identifier=1)
+        reasm = Reassembler(checksum=crc16_ccitt)
+        result = None
+        for fragment in plan.fragments:
+            out = reasm.accept(fragment, now=0.0)
+            if out is not None:
+                result = out
+        assert result is None
+        assert reasm.stats.checksum_failures == 1

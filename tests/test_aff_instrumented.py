@@ -1,0 +1,126 @@
+"""Unit tests for the instrumented receiver (the paper's methodology)."""
+
+import math
+import random
+
+import pytest
+
+from repro.aff.driver import AffDriver
+from repro.aff.instrumented import InstrumentedReceiver
+from repro.core.identifiers import IdentifierSpace, UniformSelector
+from repro.net.packets import Packet
+from repro.radio.medium import BroadcastMedium
+from repro.radio.radio import Radio
+from repro.sim.engine import Simulator
+from repro.topology.graphs import FullMesh
+
+
+class _FixedSelector(UniformSelector):
+    """Selector that returns a scripted sequence of identifiers."""
+
+    def __init__(self, space, sequence):
+        super().__init__(space, random.Random(0))
+        self._sequence = list(sequence)
+
+    def select(self):
+        self.selections += 1
+        return self._sequence.pop(0)
+
+
+def build(n_senders=2, id_bits=8, sequences=None, bitrate=1000.0):
+    sim = Simulator()
+    medium = BroadcastMedium(
+        sim, FullMesh(range(n_senders + 1)), bitrate=bitrate, rf_collisions=False
+    )
+    receiver = InstrumentedReceiver(
+        Radio(medium, n_senders), id_bits=id_bits, reassembly_timeout=30.0
+    )
+    drivers = []
+    for node in range(n_senders):
+        space = IdentifierSpace(id_bits)
+        if sequences is not None:
+            selector = _FixedSelector(space, sequences[node])
+        else:
+            selector = UniformSelector(space, random.Random(node))
+        drivers.append(AffDriver(Radio(medium, node), selector))
+    return sim, drivers, receiver
+
+
+class TestUniqueDelivery:
+    def test_counts_complete_packets(self):
+        sim, drivers, receiver = build(sequences=[[1], [2]])
+        drivers[0].send(Packet(payload=b"A" * 60, origin=0))
+        drivers[1].send(Packet(payload=b"B" * 60, origin=1))
+        sim.run()
+        assert receiver.counts.received_unique == 2
+        assert receiver.counts.would_be_lost == 0
+        assert receiver.counts.received_aff == 2
+        assert receiver.collision_loss_rate() == 0.0
+
+    def test_no_packets_rate_is_nan(self):
+        sim, drivers, receiver = build()
+        sim.run()
+        assert math.isnan(receiver.collision_loss_rate())
+
+
+class TestCollisionDetection:
+    def test_forced_identifier_collision_detected(self):
+        """Both senders scripted onto identifier 5 concurrently: the
+        instrumented receiver must flag both packets as would-be-lost."""
+        sim, drivers, receiver = build(sequences=[[5], [5]])
+        drivers[0].send(Packet(payload=b"A" * 60, origin=0))
+        drivers[1].send(Packet(payload=b"B" * 60, origin=1))
+        sim.run()
+        assert receiver.counts.received_unique == 2
+        assert receiver.counts.would_be_lost == 2
+        assert receiver.collision_loss_rate() == 1.0
+        # End-to-end: the real reassembler delivers at most one of them.
+        assert receiver.counts.received_aff <= 1
+        assert receiver.e2e_loss_rate() >= 0.5
+
+    def test_sequential_reuse_not_flagged(self):
+        """Same identifier used at different times is RETRI working as
+        intended, not a collision."""
+        sim, drivers, receiver = build(sequences=[[5], [5]])
+        drivers[0].send(Packet(payload=b"A" * 60, origin=0))
+        sim.run()
+        drivers[1].send(Packet(payload=b"B" * 60, origin=1))
+        sim.run()
+        assert receiver.counts.received_unique == 2
+        assert receiver.counts.would_be_lost == 0
+        assert receiver.counts.received_aff == 2
+
+    def test_would_be_received_complement(self):
+        sim, drivers, receiver = build(sequences=[[5, 1], [5, 2]])
+        for _ in range(2):
+            drivers[0].send(Packet(payload=b"A" * 60, origin=0))
+            drivers[1].send(Packet(payload=b"B" * 60, origin=1))
+        sim.run()
+        counts = receiver.counts
+        assert counts.would_be_received == counts.received_unique - counts.would_be_lost
+
+    def test_uninstrumented_frames_ignored(self):
+        sim, drivers, receiver = build()
+        from repro.radio.frame import Frame
+
+        drivers[0].radio.send(Frame(payload=b"\x00" * 5, origin=0))
+        sim.run()
+        assert receiver.uninstrumented_frames == 1
+        assert receiver.counts.received_unique == 0
+
+
+class TestGroundTruthIsolation:
+    def test_aff_pipeline_consumes_only_wire_fragments(self):
+        """The AFF reassembler sees exactly the decoded wire fragments —
+        one per frame — and nothing from the instrumentation channel."""
+        sim, drivers, receiver = build(sequences=[[5], [5]])
+        drivers[0].send(Packet(payload=b"A" * 60, origin=0))
+        drivers[1].send(Packet(payload=b"B" * 60, origin=1))
+        sim.run()
+        # 60-byte payloads at 22 bytes/fragment: intro + 3 data = 4 frames
+        # per packet, 8 total.
+        assert receiver.reassembler.stats.fragments_accepted == 8
+        # And its conflict counters prove the collision surfaced on the
+        # wire alone (no ground truth needed to detect it).
+        stats = receiver.reassembler.stats
+        assert stats.span_conflicts + stats.intro_conflicts >= 1

@@ -1,0 +1,135 @@
+"""Unit and property tests for the AFF wire format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aff.wire import (
+    DataFragment,
+    FragmentCodec,
+    IntroFragment,
+    MalformedFragmentError,
+)
+
+
+class TestHeaderSizes:
+    def test_intro_header_bits(self):
+        codec = FragmentCodec(id_bits=9)
+        assert codec.intro_header_bits == 2 + 9 + 16 + 16
+
+    def test_data_header_bits(self):
+        codec = FragmentCodec(id_bits=9)
+        assert codec.data_header_bits == 2 + 9 + 16 + 8
+
+    def test_identifier_bits_are_paid_exactly(self):
+        """One more identifier bit costs exactly one more header bit —
+        the knob the whole paper turns."""
+        for bits in range(0, 32):
+            a, b = FragmentCodec(bits), FragmentCodec(bits + 1)
+            assert b.intro_header_bits - a.intro_header_bits == 1
+            assert b.data_header_bits - a.data_header_bits == 1
+
+    def test_max_payload_in_rpc_frame(self):
+        codec = FragmentCodec(id_bits=8)
+        # 27*8 = 216 bits; header 2+8+16+8 = 34 -> 182/8 = 22 bytes
+        assert codec.max_payload_in_frame(27) == 22
+
+    def test_tiny_frame_rejected(self):
+        codec = FragmentCodec(id_bits=8)
+        with pytest.raises(ValueError):
+            codec.max_payload_in_frame(4)
+
+
+class TestRoundTrip:
+    def test_intro_round_trip(self):
+        codec = FragmentCodec(id_bits=9)
+        intro = IntroFragment(identifier=300, total_length=80, checksum=0xBEEF)
+        assert codec.decode(codec.encode(intro)) == intro
+
+    def test_data_round_trip(self):
+        codec = FragmentCodec(id_bits=9)
+        frag = DataFragment(identifier=300, offset=40, payload=b"hello world")
+        assert codec.decode(codec.encode(frag)) == frag
+
+    def test_zero_bit_identifier_space(self):
+        codec = FragmentCodec(id_bits=0)
+        intro = IntroFragment(identifier=0, total_length=10, checksum=1)
+        assert codec.decode(codec.encode(intro)) == intro
+
+    def test_empty_payload_fragment(self):
+        codec = FragmentCodec(id_bits=4)
+        frag = DataFragment(identifier=3, offset=0, payload=b"")
+        assert codec.decode(codec.encode(frag)) == frag
+
+    @given(
+        id_bits=st.integers(min_value=0, max_value=32),
+        data=st.data(),
+    )
+    def test_arbitrary_intros_round_trip(self, id_bits, data):
+        codec = FragmentCodec(id_bits)
+        intro = IntroFragment(
+            identifier=data.draw(st.integers(min_value=0, max_value=(1 << id_bits) - 1)),
+            total_length=data.draw(st.integers(min_value=0, max_value=65535)),
+            checksum=data.draw(st.integers(min_value=0, max_value=0xFFFF)),
+        )
+        assert codec.decode(codec.encode(intro)) == intro
+
+    @given(
+        id_bits=st.integers(min_value=0, max_value=32),
+        offset=st.integers(min_value=0, max_value=65535),
+        payload=st.binary(max_size=255),
+        data=st.data(),
+    )
+    def test_arbitrary_data_fragments_round_trip(self, id_bits, offset, payload, data):
+        codec = FragmentCodec(id_bits)
+        frag = DataFragment(
+            identifier=data.draw(st.integers(min_value=0, max_value=(1 << id_bits) - 1)),
+            offset=offset,
+            payload=payload,
+        )
+        assert codec.decode(codec.encode(frag)) == frag
+
+
+class TestValidation:
+    def test_identifier_out_of_space_rejected(self):
+        codec = FragmentCodec(id_bits=4)
+        with pytest.raises(ValueError):
+            codec.encode(IntroFragment(identifier=16, total_length=1, checksum=0))
+
+    def test_oversized_length_rejected(self):
+        codec = FragmentCodec(id_bits=4)
+        with pytest.raises(ValueError):
+            codec.encode(IntroFragment(identifier=0, total_length=70000, checksum=0))
+
+    def test_oversized_fragment_payload_rejected(self):
+        codec = FragmentCodec(id_bits=4)
+        with pytest.raises(ValueError):
+            codec.encode(DataFragment(identifier=0, offset=0, payload=b"\x00" * 256))
+
+    def test_truncated_bytes_raise_malformed(self):
+        codec = FragmentCodec(id_bits=9)
+        good = codec.encode(
+            DataFragment(identifier=1, offset=0, payload=b"0123456789")
+        )
+        with pytest.raises(MalformedFragmentError):
+            codec.decode(good[: len(good) // 2])
+
+    def test_empty_input_raises_malformed(self):
+        with pytest.raises(MalformedFragmentError):
+            FragmentCodec(id_bits=9).decode(b"")
+
+    def test_unknown_kind_raises_malformed(self):
+        codec = FragmentCodec(id_bits=0)
+        # kind bits 0b11 (3) is unassigned
+        with pytest.raises(MalformedFragmentError):
+            codec.decode(bytes([0b11000000]) + b"\x00" * 10)
+
+    def test_invalid_codec_size(self):
+        with pytest.raises(ValueError):
+            FragmentCodec(id_bits=-1)
+        with pytest.raises(ValueError):
+            FragmentCodec(id_bits=63)
+
+    def test_encode_non_fragment_rejected(self):
+        with pytest.raises(TypeError):
+            FragmentCodec(4).encode("not a fragment")  # type: ignore[arg-type]

@@ -1,0 +1,168 @@
+"""Unit tests for attribute-name compression with RETRI codes."""
+
+import random
+
+import pytest
+
+from repro.apps.codebook import CodebookReceiver, CodebookSender
+from repro.core.identifiers import IdentifierSpace, UniformSelector
+from repro.radio.medium import BroadcastMedium
+from repro.radio.radio import Radio
+from repro.sim.engine import Simulator
+from repro.topology.graphs import FullMesh
+
+ATTR_A = b"type=temperature,quadrant=NE,unit=C"
+ATTR_B = b"type=motion,quadrant=SW,window=60s"
+
+
+class _ScriptedSelector(UniformSelector):
+    def __init__(self, space, values):
+        super().__init__(space, random.Random(0))
+        self._values = list(values)
+
+    def select(self):
+        self.selections += 1
+        if self._values:
+            return self._values.pop(0)
+        return super().select()
+
+
+def build(n_senders=2, code_bits=8, scripted=None, lifetime=1000.0):
+    sim = Simulator()
+    medium = BroadcastMedium(
+        sim, FullMesh(range(n_senders + 1)), rf_collisions=False
+    )
+    receiver = CodebookReceiver(
+        sim, Radio(medium, n_senders, max_frame_bytes=255), code_bits=code_bits
+    )
+    senders = []
+    for node in range(n_senders):
+        space = IdentifierSpace(code_bits)
+        selector = (
+            _ScriptedSelector(space, scripted[node])
+            if scripted is not None
+            else UniformSelector(space, random.Random(node))
+        )
+        senders.append(
+            CodebookSender(
+                sim,
+                Radio(medium, node, max_frame_bytes=255),
+                selector,
+                binding_lifetime=lifetime,
+            )
+        )
+    return sim, senders, receiver
+
+
+class TestCompression:
+    def test_binding_sent_once_then_codes_only(self):
+        sim, senders, receiver = build(n_senders=1)
+        for value in range(5):
+            senders[0].report(ATTR_A, value)
+        sim.run()
+        assert senders[0].bindings_sent == 1
+        assert senders[0].reports_sent == 5
+        assert receiver.stats.reports_decoded == 5
+        assert receiver.stats.reports_correct == 5
+
+    def test_decoded_values_preserved(self):
+        sim, senders, receiver = build(n_senders=1)
+        senders[0].report(ATTR_A, 1234)
+        sim.run()
+        assert receiver.decoded == [(ATTR_A, 1234)]
+
+    def test_distinct_attributes_get_distinct_codes(self):
+        sim, senders, receiver = build(n_senders=1, code_bits=12)
+        code_a = senders[0].report(ATTR_A, 1)
+        code_b = senders[0].report(ATTR_B, 2)
+        sim.run()
+        assert code_a != code_b
+        assert receiver.stats.reports_correct == 2
+
+    def test_expired_binding_is_reannounced(self):
+        sim, senders, receiver = build(n_senders=1, lifetime=5.0)
+        senders[0].report(ATTR_A, 1)
+        sim.run()
+        sim.schedule(10.0, senders[0].report, ATTR_A, 2)
+        sim.run(until=20.0)
+        assert senders[0].bindings_sent == 2
+
+    def test_report_without_binding_is_undecodable(self):
+        sim, senders, receiver = build(n_senders=1)
+        # Craft: bind, then poison the receiver by clearing its state.
+        senders[0].report(ATTR_A, 1)
+        sim.run()
+        receiver._bindings.clear()
+        senders[0].report(ATTR_A, 2)  # binding still live at sender
+        sim.run()
+        assert receiver.stats.reports_undecodable == 1
+
+
+class TestCodeClashes:
+    def test_clash_detected_and_code_poisoned(self):
+        """Two senders bind different attributes to the same code: the
+        receiver detects the clash and refuses to decode that code."""
+        sim, senders, receiver = build(scripted=[[9], [9]])
+        senders[0].report(ATTR_A, 1)
+        senders[1].report(ATTR_B, 2)
+        sim.run()
+        assert receiver.stats.code_clashes_detected == 1
+        # Subsequent reports on code 9 are dropped, not mis-decoded.
+        senders[0].report(ATTR_A, 3)
+        sim.run()
+        assert receiver.stats.reports_undecodable >= 1
+
+    def test_missed_first_binding_causes_counted_misdecode(self):
+        """If the receiver never heard A's binding, B's clash is invisible
+        and A's reports decode as B's attribute — ground truth counts it."""
+        sim, senders, receiver = build(scripted=[[9], [9]])
+        # Receiver misses sender 0's binding: simulate by binding before
+        # the receiver's radio attaches... simpler: sender1 binds first,
+        # then sender0's binding poisons; instead test the mis-decode path
+        # by clearing the clash record.
+        senders[1].report(ATTR_B, 2)
+        sim.run()
+        # Sender 0 now uses code 9 for ATTR_A but its binding frame is
+        # "lost": inject only the report by reaching into the sender.
+        code, fresh = senders[0]._code_for(ATTR_A)
+        assert code == 9
+        payload = senders[0].codec.encode_report(code, 7)
+        from repro.radio.frame import Frame
+
+        frame = Frame(
+            payload=payload,
+            origin=0,
+            header_bits=8 * len(payload) - 16,
+            payload_bits=16,
+            ground_truth={"attribute": ATTR_A, "value": 7, "source": 0},
+        )
+        senders[0].radio.send(frame)
+        sim.run()
+        assert receiver.stats.reports_misdecoded == 1
+
+    def test_same_attribute_rebinding_is_not_a_clash(self):
+        sim, senders, receiver = build(scripted=[[9], [9]])
+        senders[0].report(ATTR_A, 1)
+        senders[1].report(ATTR_A, 2)  # same attribute, same code: agree
+        sim.run()
+        assert receiver.stats.code_clashes_detected == 0
+        assert receiver.stats.reports_correct == 2
+
+
+class TestStaticCodes:
+    def test_static_code_fn_used(self):
+        sim = Simulator()
+        medium = BroadcastMedium(sim, FullMesh(range(2)), rf_collisions=False)
+        receiver = CodebookReceiver(
+            sim, Radio(medium, 1, max_frame_bytes=255), code_bits=16
+        )
+        sender = CodebookSender(
+            sim,
+            Radio(medium, 0, max_frame_bytes=255),
+            UniformSelector(IdentifierSpace(16), random.Random(1)),
+            static_code_fn=lambda attr: 777,
+        )
+        code = sender.report(ATTR_A, 5)
+        sim.run()
+        assert code == 777
+        assert receiver.stats.reports_correct == 1

@@ -1,0 +1,78 @@
+"""Interest reinforcement with learning selectors.
+
+The interest app's epochs are transactions too, so the listening
+heuristic and collision notifications compose with it.  These tests
+exercise those combinations (the plain-selector behaviour is covered in
+test_apps_interest.py).
+"""
+
+import random
+
+import pytest
+
+from repro.apps.interest import InterestSink, InterestSource
+from repro.core.identifiers import IdentifierSpace, ListeningSelector
+from repro.radio.medium import BroadcastMedium
+from repro.radio.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.topology.graphs import FullMesh
+
+
+def build(n_sources, id_bits=5, epoch=3.0, seed=0):
+    rngs = RngRegistry(seed)
+    sim = Simulator()
+    medium = BroadcastMedium(sim, FullMesh(range(n_sources + 1)),
+                             rf_collisions=False, rng=rngs.stream("m"))
+    sink = InterestSink(sim, Radio(medium, n_sources), id_bits=id_bits)
+    sources = []
+    for node in range(n_sources):
+        selector = ListeningSelector(
+            IdentifierSpace(id_bits), rngs.stream(f"sel{node}"),
+            density_hint=n_sources,
+        )
+        source = InterestSource(
+            sim, Radio(medium, node), selector,
+            epoch=epoch, base_interval=0.5,
+            rng=rngs.stream(f"src{node}"),
+        )
+        sources.append(source)
+    return sim, sources, sink
+
+
+class TestListeningSelectorsInInterest:
+    def test_sources_with_listening_selectors_run(self):
+        sim, sources, sink = build(n_sources=4, seed=1)
+        for s in sources:
+            s.start()
+        sim.run(until=30.0)
+        for s in sources:
+            assert s.stats.readings_sent > 10
+            assert s.stats.reinforcements_received > 0
+
+    def test_readings_feed_the_selectors(self):
+        """Sources overhear each other's readings... but only via the
+        interest protocol — readings are not introductions, so only
+        identifiers they choose to track matter.  Here we verify the
+        epochs rotate without identifier starvation in a small space."""
+        sim, sources, sink = build(n_sources=4, id_bits=4, epoch=2.0, seed=2)
+        for s in sources:
+            s.start()
+        sim.run(until=40.0)
+        # Every source kept reporting for the whole run.
+        for s in sources:
+            assert s.stats.readings_sent >= 40
+
+    def test_misdirection_lower_than_tiny_uniform_space(self):
+        """At equal identifier width, rotating epochs with listening-
+        capable selectors never do *worse* than the collision bound."""
+        sim, sources, sink = build(n_sources=6, id_bits=4, epoch=2.0, seed=3)
+        for s in sources:
+            s.start()
+        sim.run(until=60.0)
+        total = sum(s.stats.reinforcements_received for s in sources)
+        mis = sum(s.stats.reinforcements_misdirected for s in sources)
+        assert total > 0
+        # With 6 sources in a 16-id space, the memoryless collision bound
+        # is 1-(15/16)^10 ~ 0.48; the app must sit at or below it.
+        assert mis / total < 0.48

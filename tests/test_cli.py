@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_defaults(self):
+        args = build_parser().parse_args(["figure", "1"])
+        assert args.number == 1
+        assert args.trials == 3
+
+    def test_scenario_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "nonsense"])
+
+
+class TestAnalyticCommands:
+    def test_figure_1_prints_table_and_chart(self, capsys):
+        assert main(["figure", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "AFF T=16" in out
+        assert "legend:" in out  # the ASCII chart
+
+    def test_figure_2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_figure_3_log_axis(self, capsys):
+        assert main(["figure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "transaction density" in out
+
+    def test_unknown_figure_fails(self, capsys):
+        assert main(["figure", "9"]) == 2
+        assert "figures 1-4" in capsys.readouterr().err
+
+    def test_model_query(self, capsys):
+        assert main(["model", "--data-bits", "16", "--density", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal identifier bits" in out
+        assert "9" in out
+
+
+class TestSimulatedCommands:
+    def test_figure_4_quick(self, capsys):
+        assert main([
+            "figure", "4", "--trials", "1", "--duration", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "measured random" in out
+
+    def test_validate_quick(self, capsys):
+        assert main(["validate", "--trials", "1", "--duration", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "collision rates" in out
+
+    def test_scenario_dynamic_alloc(self, capsys):
+        assert main(["scenario", "dynamic-alloc"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic_efficiency" in out
+
+    def test_scenario_hidden_terminal_quick(self, capsys):
+        assert main(["scenario", "hidden-terminal", "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "mesh.listening" in out
+
+    def test_report_writes_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "report"
+        assert main([
+            "report", "--output", str(out_dir),
+            "--trials", "1", "--duration", "3",
+        ]) == 0
+        files = {p.name for p in out_dir.iterdir()}
+        assert "figure_1.txt" in files
+        assert "figure_4.txt" in files
+        assert "figure_1.json" in files  # machine-readable twin
+        assert "scenario_hidden_terminal.txt" in files
+        assert (out_dir / "figure_1.txt").read_text().strip()
+
+    def test_report_json_round_trips(self, tmp_path, capsys):
+        from repro.experiments.persistence import figure_from_json, load_json
+
+        out_dir = tmp_path / "report"
+        main(["report", "--output", str(out_dir),
+              "--trials", "1", "--duration", "3"])
+        fig = figure_from_json(load_json(out_dir / "figure_1.json"))
+        assert fig.series_by_label("AFF T=16").peak()[0] == 9
+
+    def test_sweep_command(self, capsys):
+        assert main([
+            "sweep", "--id-bits", "3,6", "--senders", "3",
+            "--trials", "1", "--duration", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "collision-rate sweep" in out
+        assert "id_bits" in out

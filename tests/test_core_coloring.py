@@ -1,0 +1,102 @@
+"""Unit tests for the 2-hop colouring local-address policy."""
+
+import random
+
+import pytest
+
+from repro.core.policies import ColoringLocalPolicy
+from repro.topology.graphs import DiskGraph, ExplicitGraph, FullMesh, Line, Star
+
+
+class TestColoringCorrectness:
+    def test_full_mesh_needs_n_colors(self):
+        """In a full mesh everyone conflicts with everyone."""
+        policy = ColoringLocalPolicy(FullMesh(range(8)))
+        addresses = {policy.transaction_identifier(n) for n in range(8)}
+        assert len(addresses) == 8
+        assert policy.colors_used == 8
+        assert policy.is_valid()
+
+    def test_line_reuses_addresses(self):
+        """A long line needs only ~3 colours under the 2-hop rule."""
+        policy = ColoringLocalPolicy(Line(50))
+        assert policy.colors_used <= 4
+        assert policy.header_bits <= 2
+        assert policy.is_valid()
+
+    def test_star_separates_all_leaves(self):
+        """All leaves share the hub as a receiver: all must differ."""
+        policy = ColoringLocalPolicy(Star(hub=10, leaves=range(6)))
+        leaf_addresses = {policy.transaction_identifier(n) for n in range(6)}
+        assert len(leaf_addresses) == 6
+        assert policy.is_valid()
+
+    def test_two_hop_rule_enforced(self):
+        # 0-1-2: 0 and 2 share receiver 1, so they must differ even though
+        # they are not neighbours.
+        policy = ColoringLocalPolicy(ExplicitGraph(edges=[(0, 1), (1, 2)]))
+        assert policy.transaction_identifier(0) != policy.transaction_identifier(2)
+
+    def test_disconnected_components_reuse_freely(self):
+        graph = ExplicitGraph(edges=[(0, 1), (10, 11)])
+        policy = ColoringLocalPolicy(graph)
+        assert policy.colors_used == 2  # both pairs use colours {0, 1}
+        assert policy.is_valid()
+
+    def test_random_disk_graphs_always_valid(self):
+        for seed in range(5):
+            graph = DiskGraph.random(40, 0.25, rng=random.Random(seed))
+            policy = ColoringLocalPolicy(graph)
+            assert policy.is_valid()
+
+    def test_collision_free_flag(self):
+        assert ColoringLocalPolicy(Line(3)).collision_free
+
+
+class TestDynamicsCost:
+    def test_new_node_requires_recoloring(self):
+        graph = Line(5)
+        policy = ColoringLocalPolicy(graph)
+        graph.add_edge(4, 5)
+        with pytest.raises(KeyError):
+            policy.transaction_identifier(5)
+        policy.recolor()
+        assert policy.transaction_identifier(5) >= 0
+        assert policy.is_valid()
+
+    def test_colorings_are_counted(self):
+        graph = Line(4)
+        policy = ColoringLocalPolicy(graph)
+        assert policy.colorings_computed == 1
+        for _ in range(5):
+            policy.recolor()
+        assert policy.colorings_computed == 6
+
+    def test_topology_change_can_invalidate(self):
+        graph = ExplicitGraph(edges=[(0, 1)], nodes=[2])
+        policy = ColoringLocalPolicy(graph)
+        # Nodes 0 and 2 may share a colour while disconnected...
+        graph.add_edge(1, 2)
+        graph.add_edge(0, 2)
+        # ...but after densifying, the old colouring may now be invalid.
+        if not policy.is_valid():
+            policy.recolor()
+        assert policy.is_valid()
+
+
+class TestScalingProperty:
+    def test_bits_track_density_not_size(self):
+        """Growing a field at constant density keeps colour bits flat —
+        the same scaling RETRI gets without any global computation."""
+        import math
+
+        bits_by_size = []
+        for n in (30, 120, 480):
+            # Keep mean degree constant: area grows with n.
+            side = math.sqrt(n / 30.0)
+            graph = DiskGraph.random(
+                n, radio_range=0.25, side=side, rng=random.Random(7)
+            )
+            policy = ColoringLocalPolicy(graph)
+            bits_by_size.append(policy.header_bits)
+        assert max(bits_by_size) - min(bits_by_size) <= 1

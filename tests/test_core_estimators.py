@@ -1,0 +1,149 @@
+"""Unit tests for transaction-density estimators.
+
+Synthetic workloads with known ground-truth density; every estimator
+must converge to it within its stated tolerance.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.estimators import (
+    EwmaEstimator,
+    InstantaneousEstimator,
+    LittlesLawEstimator,
+    WindowedTimeAverageEstimator,
+)
+
+ALL_ESTIMATORS = [
+    InstantaneousEstimator,
+    EwmaEstimator,
+    WindowedTimeAverageEstimator,
+    LittlesLawEstimator,
+]
+
+
+def steady_workload(estimator, density, duration=200.0, txn_length=1.0):
+    """Drive ``density`` staggered same-length transactions continuously.
+
+    Lanes are offset so begins/ends interleave; at any instant exactly
+    ``density`` transactions are open (after warm-up).
+    """
+    events = []
+    lane_offset = txn_length / density
+    t = 0.0
+    while t < duration:
+        for lane in range(density):
+            start = t + lane * lane_offset
+            events.append((start, "begin"))
+            events.append((start + txn_length, "end"))
+        t += txn_length
+    # Ends sort before coincident begins (a lane's next transaction starts
+    # the instant its previous one finishes), and events at/after the
+    # deadline are dropped so the final batch is still open at `duration`.
+    events.sort(key=lambda e: (e[0], e[1] == "begin"))
+    events = [e for e in events if e[0] < duration]
+    for time, kind in events:
+        if kind == "begin":
+            estimator.observe_begin(time)
+        else:
+            estimator.observe_end(time)
+    return duration
+
+
+class TestConvergenceOnSteadyLoad:
+    @pytest.mark.parametrize("estimator_cls", ALL_ESTIMATORS)
+    @pytest.mark.parametrize("density", [1, 3, 8])
+    def test_estimates_steady_density(self, estimator_cls, density):
+        estimator = estimator_cls()
+        end = steady_workload(estimator, density)
+        assert estimator.estimate(end) == pytest.approx(density, rel=0.35, abs=0.6)
+
+    @pytest.mark.parametrize("estimator_cls", ALL_ESTIMATORS)
+    def test_fresh_estimator_returns_at_least_one(self, estimator_cls):
+        assert estimator_cls().estimate(0.0) >= 1.0
+
+
+class TestAdaptation:
+    @pytest.mark.parametrize(
+        "estimator_cls",
+        [EwmaEstimator, WindowedTimeAverageEstimator, LittlesLawEstimator],
+    )
+    def test_tracks_density_increase(self, estimator_cls):
+        estimator = estimator_cls()
+        steady_workload(estimator, 2, duration=100.0)
+        low = estimator.estimate(100.0)
+        # Jump to 8 lanes for another stretch, offset in time.
+        events = []
+        for t in range(100, 200):
+            for lane in range(8):
+                start = float(t) + lane / 8
+                events.append((start, "begin"))
+                events.append((start + 1.0, "end"))
+        events.sort(key=lambda e: (e[0], e[1] == "begin"))
+        for time, kind in events:
+            if kind == "begin":
+                estimator.observe_begin(time)
+            else:
+                estimator.observe_end(time)
+        high = estimator.estimate(200.0)
+        assert high > low * 1.5
+
+    def test_windowed_estimator_forgets_old_load(self):
+        estimator = WindowedTimeAverageEstimator(window=10.0)
+        steady_workload(estimator, 8, duration=50.0)
+        assert estimator.estimate(50.0) > 4.0
+        # The busy period ends (the 8 open transactions finish) and the
+        # network falls silent: the window slides past the load.
+        for _ in range(8):
+            estimator.observe_end(50.5)
+        assert estimator.estimate(75.0) <= 1.5
+
+
+class TestInstantaneous:
+    def test_counts_follow_begin_end(self):
+        est = InstantaneousEstimator()
+        est.observe_begin(0.0)
+        est.observe_begin(0.5)
+        assert est.estimate(1.0) == 2.0
+        est.observe_end(1.5)
+        assert est.estimate(2.0) == 1.0
+
+    def test_never_negative(self):
+        est = InstantaneousEstimator()
+        est.observe_end(0.0)
+        est.observe_end(1.0)
+        assert est.estimate(2.0) == 1.0
+
+
+class TestLittlesLaw:
+    def test_uses_rate_times_duration(self):
+        est = LittlesLawEstimator(window=100.0)
+        # 2 begins/second, each lasting 3 seconds -> T = 6.
+        t = 0.0
+        while t < 60.0:
+            est.observe_begin(t)
+            est.observe_end(t + 3.0)  # FIFO matching: same-length txns
+            t += 0.5
+        assert est.estimate(60.0) == pytest.approx(6.0, rel=0.25)
+
+    def test_falls_back_without_any_end(self):
+        est = LittlesLawEstimator()
+        est.observe_begin(0.0)
+        est.observe_begin(1.0)
+        assert est.estimate(2.0) == 2.0  # instantaneous fallback
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaEstimator(initial=0.5)
+        with pytest.raises(ValueError):
+            WindowedTimeAverageEstimator(window=0.0)
+        with pytest.raises(ValueError):
+            LittlesLawEstimator(window=-1.0)
+        with pytest.raises(ValueError):
+            LittlesLawEstimator(duration_ewma_alpha=1.5)

@@ -1,0 +1,205 @@
+"""Unit and property tests for identifier spaces and selectors."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.identifiers import (
+    IdentifierSpace,
+    ListeningSelector,
+    OracleSelector,
+    UniformSelector,
+)
+
+
+class TestIdentifierSpace:
+    def test_size(self):
+        assert IdentifierSpace(4).size == 16
+        assert IdentifierSpace(0).size == 1
+
+    def test_membership(self):
+        space = IdentifierSpace(3)
+        assert 0 in space and 7 in space
+        assert 8 not in space and -1 not in space
+
+    def test_sample_stays_in_space(self):
+        space = IdentifierSpace(5)
+        rng = random.Random(1)
+        assert all(space.sample(rng) in space for _ in range(200))
+
+    def test_sample_covers_space(self):
+        space = IdentifierSpace(3)
+        rng = random.Random(2)
+        seen = {space.sample(rng) for _ in range(500)}
+        assert seen == set(range(8))
+
+    def test_sample_avoiding_excludes(self):
+        space = IdentifierSpace(3)
+        rng = random.Random(3)
+        avoid = {0, 1, 2, 3}
+        for _ in range(100):
+            assert space.sample_avoiding(rng, avoid) not in avoid
+
+    def test_sample_avoiding_nearly_full(self):
+        space = IdentifierSpace(3)
+        rng = random.Random(4)
+        avoid = set(range(7))  # only id 7 free
+        assert all(space.sample_avoiding(rng, avoid) == 7 for _ in range(20))
+
+    def test_sample_avoiding_saturated_falls_back_to_uniform(self):
+        space = IdentifierSpace(2)
+        rng = random.Random(5)
+        avoid = set(range(4))
+        assert space.sample_avoiding(rng, avoid) in space
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            IdentifierSpace(-1)
+        with pytest.raises(ValueError):
+            IdentifierSpace(63)
+
+    @given(bits=st.integers(min_value=1, max_value=10), seed=st.integers())
+    def test_avoiding_property(self, bits, seed):
+        space = IdentifierSpace(bits)
+        rng = random.Random(seed)
+        avoid = {rng.randrange(space.size) for _ in range(space.size // 2)}
+        value = space.sample_avoiding(rng, avoid)
+        assert value in space
+        if len(avoid) < space.size:
+            assert value not in avoid
+
+
+class TestUniformSelector:
+    def test_selects_from_space(self):
+        sel = UniformSelector(IdentifierSpace(4), random.Random(1))
+        assert all(sel.select() in sel.space for _ in range(100))
+        assert sel.selections == 100
+
+    def test_ignores_observations(self):
+        """Uniform selection uses no learned state: two selectors with the
+        same seed produce the same stream regardless of observations."""
+        a = UniformSelector(IdentifierSpace(4), random.Random(9))
+        b = UniformSelector(IdentifierSpace(4), random.Random(9))
+        for i in range(50):
+            b.observe(i % 16)
+            b.note_transaction_begin(i % 16)
+        assert [a.select() for _ in range(50)] == [b.select() for _ in range(50)]
+
+    def test_empirical_uniformity(self):
+        sel = UniformSelector(IdentifierSpace(2), random.Random(3))
+        counts = [0, 0, 0, 0]
+        n = 8000
+        for _ in range(n):
+            counts[sel.select()] += 1
+        for c in counts:
+            assert c / n == pytest.approx(0.25, abs=0.03)
+
+
+class TestListeningSelector:
+    def test_avoids_recently_heard(self):
+        sel = ListeningSelector(
+            IdentifierSpace(3), random.Random(1), fixed_window=4
+        )
+        for identifier in (0, 1, 2, 3):
+            sel.observe(identifier)
+        for _ in range(100):
+            assert sel.select() not in {0, 1, 2, 3}
+
+    def test_window_slides(self):
+        sel = ListeningSelector(
+            IdentifierSpace(3), random.Random(2), fixed_window=2
+        )
+        for identifier in (0, 1, 2, 3):
+            sel.observe(identifier)
+        # Only the last two (2, 3) are avoided now.
+        picks = {sel.select() for _ in range(200)}
+        assert 2 not in picks and 3 not in picks
+        assert 0 in picks and 1 in picks
+
+    def test_out_of_space_observations_ignored(self):
+        sel = ListeningSelector(IdentifierSpace(2), random.Random(3), fixed_window=4)
+        sel.observe(99)
+        assert sel.recently_heard() == set()
+
+    def test_density_estimate_tracks_concurrency(self):
+        sel = ListeningSelector(
+            IdentifierSpace(8), random.Random(4), density_hint=1.0, ewma_alpha=0.5
+        )
+        # Ramp up to 4 concurrent transactions.
+        for i in range(4):
+            sel.note_transaction_begin(i)
+        assert sel.density_estimate > 1.0
+        high = sel.density_estimate
+        for i in range(4):
+            sel.note_transaction_end(i)
+        sel.note_transaction_begin(9)
+        assert sel.density_estimate < high + 1
+
+    def test_adaptive_window_is_2T(self):
+        sel = ListeningSelector(
+            IdentifierSpace(8), random.Random(5), density_hint=5.0
+        )
+        assert sel.avoid_window == 10
+
+    def test_fixed_window_overrides_adaptation(self):
+        sel = ListeningSelector(
+            IdentifierSpace(8), random.Random(6), density_hint=5.0, fixed_window=3
+        )
+        assert sel.avoid_window == 3
+
+    def test_saturated_window_still_selects(self):
+        sel = ListeningSelector(
+            IdentifierSpace(1), random.Random(7), fixed_window=10
+        )
+        sel.observe(0)
+        sel.observe(1)
+        assert sel.select() in sel.space
+
+    def test_end_without_begin_does_not_underflow(self):
+        sel = ListeningSelector(IdentifierSpace(4), random.Random(8))
+        sel.note_transaction_end(0)
+        sel.note_transaction_begin(1)
+        assert sel.density_estimate >= 0
+
+    def test_invalid_parameters(self):
+        space = IdentifierSpace(4)
+        with pytest.raises(ValueError):
+            ListeningSelector(space, density_hint=0.0)
+        with pytest.raises(ValueError):
+            ListeningSelector(space, window_factor=0.0)
+        with pytest.raises(ValueError):
+            ListeningSelector(space, ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            ListeningSelector(space, fixed_window=-1)
+
+
+class TestOracleSelector:
+    def test_never_collides_until_saturation(self):
+        shared = OracleSelector.shared_registry()
+        space = IdentifierSpace(4)
+        selectors = [
+            OracleSelector(space, random.Random(i), active=shared) for i in range(8)
+        ]
+        picked = [sel.select() for sel in selectors]
+        assert len(set(picked)) == len(picked)
+
+    def test_release_returns_identifier_to_pool(self):
+        shared = OracleSelector.shared_registry()
+        space = IdentifierSpace(1)  # ids {0, 1}
+        sel = OracleSelector(space, random.Random(1), active=shared)
+        a = sel.select()
+        b = sel.select()
+        assert {a, b} == {0, 1}
+        sel.note_transaction_end(a)
+        c = sel.select()
+        assert c == a
+
+    def test_shared_registry_coordinates_across_selectors(self):
+        shared = OracleSelector.shared_registry()
+        space = IdentifierSpace(2)
+        a = OracleSelector(space, random.Random(1), active=shared)
+        b = OracleSelector(space, random.Random(2), active=shared)
+        ids = [a.select(), b.select(), a.select(), b.select()]
+        assert len(set(ids)) == 4

@@ -1,0 +1,286 @@
+"""Unit and property tests for the Section 4 analytic model.
+
+These tests pin the paper's published numbers: Eqs. 2-4, the 9-bit
+optimum for 16-bit data at T=16 (Figure 1), the 50%/33% static lines,
+and Figure 3's exhaustion cliff.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import model
+
+
+class TestPSuccess:
+    def test_single_transaction_always_succeeds(self):
+        assert model.p_success(id_bits=4, density=1) == 1.0
+
+    def test_matches_closed_form(self):
+        # (1 - 2^-4)^(2*(5-1)) = (15/16)^8
+        assert model.p_success(4, 5) == pytest.approx((15 / 16) ** 8)
+
+    def test_zero_bits_with_contention_always_fails(self):
+        assert model.p_success(0, 2) == 0.0
+
+    def test_approaches_one_for_large_spaces(self):
+        assert model.p_success(62, 1000) == pytest.approx(1.0, abs=1e-12)
+
+    def test_vectorised_over_bits(self):
+        bits = np.array([1, 2, 3])
+        ps = model.p_success(bits, 5)
+        assert ps.shape == (3,)
+        assert ps[0] == pytest.approx(0.5**8)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            model.p_success(-1, 5)
+        with pytest.raises(ValueError):
+            model.p_success(4, 0.5)
+
+    @given(
+        bits=st.integers(min_value=0, max_value=40),
+        density=st.floats(min_value=1, max_value=1e6),
+    )
+    def test_is_a_probability(self, bits, density):
+        p = model.p_success(bits, density)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        bits=st.integers(min_value=1, max_value=30),
+        density=st.floats(min_value=1, max_value=1e5),
+    )
+    def test_monotone_in_bits(self, bits, density):
+        assert model.p_success(bits + 1, density) >= model.p_success(bits, density)
+
+    @given(
+        bits=st.integers(min_value=1, max_value=30),
+        density=st.floats(min_value=1, max_value=1e5),
+    )
+    def test_monotone_in_density(self, bits, density):
+        assert model.p_success(bits, density + 1) <= model.p_success(bits, density)
+
+    def test_collision_probability_is_complement(self):
+        assert model.collision_probability(4, 5) == pytest.approx(
+            1 - model.p_success(4, 5)
+        )
+
+
+class TestEfficiencyStatic:
+    def test_paper_flat_lines(self):
+        """16-bit data: 50% with 16-bit address, 33% with 32-bit."""
+        assert model.efficiency_static(16, 16) == pytest.approx(0.5)
+        assert model.efficiency_static(16, 32) == pytest.approx(1 / 3)
+
+    def test_figure2_larger_data_more_efficient(self):
+        assert model.efficiency_static(128, 16) > model.efficiency_static(16, 16)
+
+    def test_zero_header_is_perfect(self):
+        assert model.efficiency_static(16, 0) == 1.0
+
+    def test_zero_data_zero_efficiency(self):
+        assert model.efficiency_static(0, 16) == 0.0
+
+    def test_degenerate_all_zero_is_nan(self):
+        assert math.isnan(model.efficiency_static(0, 0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            model.efficiency_static(-1, 16)
+
+
+class TestEfficiencyAff:
+    def test_eq3_composition(self):
+        e = model.efficiency_aff(16, 9, 16)
+        assert e == pytest.approx(
+            model.efficiency_static(16, 9) * model.p_success(9, 16)
+        )
+
+    def test_never_exceeds_static_at_same_header(self):
+        for bits in range(1, 33):
+            assert model.efficiency_aff(16, bits, 8) <= model.efficiency_static(
+                16, bits
+            )
+
+    def test_equals_static_when_density_one(self):
+        assert model.efficiency_aff(16, 12, 1) == pytest.approx(
+            model.efficiency_static(16, 12)
+        )
+
+    @given(
+        data=st.integers(min_value=1, max_value=1024),
+        bits=st.integers(min_value=0, max_value=40),
+        density=st.floats(min_value=1, max_value=1e5),
+    )
+    def test_bounded_by_unit_interval(self, data, bits, density):
+        e = model.efficiency_aff(data, bits, density)
+        assert 0.0 <= e <= 1.0
+
+
+class TestOptimalBits:
+    def test_paper_headline_nine_bits(self):
+        """Figure 1: 'AFF works optimally with only 9 identifier bits in a
+        network where there are an average of 16 simultaneous transactions'."""
+        best_bits, best_eff = model.optimal_identifier_bits(16, 16)
+        assert best_bits == 9
+        # And it beats the 16-bit static allocation's 50%.
+        assert best_eff > 0.5
+
+    def test_figure2_optimum_shifts_right_with_data_size(self):
+        """'Second, the optimal number of bits used for the AFF identifier
+        increases' (with 128-bit data)."""
+        small = model.optimal_identifier_bits(16, 16)[0]
+        large = model.optimal_identifier_bits(128, 16)[0]
+        assert large > small
+
+    def test_optimum_grows_with_density(self):
+        low = model.optimal_identifier_bits(16, 16)[0]
+        high = model.optimal_identifier_bits(16, 256)[0]
+        assert high > low
+
+    def test_exhaustive_search_is_argmax(self):
+        best_bits, best_eff = model.optimal_identifier_bits(16, 64, max_bits=32)
+        all_eff = [model.efficiency_aff(16, b, 64) for b in range(33)]
+        assert best_eff == pytest.approx(max(all_eff))
+        assert all_eff[best_bits] == pytest.approx(best_eff)
+
+    def test_at_64k_density_16bit_space_fully_used(self):
+        """Paper: 'in an extreme case of 64K simultaneous transactions ...
+        a 16-bit address space can be fully (indeed, optimally) utilized' —
+        AFF's optimum cannot beat 16-bit static there."""
+        _, best_eff = model.optimal_identifier_bits(16, 65536)
+        assert best_eff <= model.efficiency_static(16, 16) + 1e-9
+
+
+class TestSweep:
+    def test_sweep_shape_and_range(self):
+        bits, eff = model.sweep_aff_efficiency(16, 16, (1, 32))
+        assert len(bits) == 32
+        assert bits[0] == 1 and bits[-1] == 32
+        assert np.all((eff >= 0) & (eff <= 1))
+
+    def test_sweep_is_unimodal_for_figure1(self):
+        """The figure's curves rise to a single peak then fall."""
+        _, eff = model.sweep_aff_efficiency(16, 16, (1, 32))
+        peak = int(np.argmax(eff))
+        assert np.all(np.diff(eff[: peak + 1]) >= -1e-12)
+        assert np.all(np.diff(eff[peak:]) <= 1e-12)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            model.sweep_aff_efficiency(16, 16, (5, 2))
+
+
+class TestStaticExhaustion:
+    def test_figure3_cliff(self):
+        assert not model.static_space_exhausted(16, 65536)  # T = 2^16 exactly
+        assert model.static_space_exhausted(16, 65537)
+
+    def test_vectorised(self):
+        out = model.static_space_exhausted(4, np.array([8.0, 16.0, 17.0]))
+        assert list(out) == [False, False, True]
+
+
+class TestCrossover:
+    def test_aff_wins_below_crossover_loses_above(self):
+        cross = model.crossover_density(16, 16)
+        assert cross > 1.0
+        e_static = model.efficiency_static(16, 16)
+        below = model.optimal_identifier_bits(16, cross * 0.5)[1]
+        above = model.optimal_identifier_bits(16, cross * 2.0)[1]
+        assert below > e_static
+        assert above <= e_static + 1e-9
+
+    def test_no_crossover_against_huge_static_addresses(self):
+        """Against 48-bit Ethernet addresses with tiny data, AFF wins at any
+        plausible density."""
+        assert model.crossover_density(16, 48, max_density=2**30) == math.inf
+
+    def test_crossover_collapses_to_one_when_aff_barely_wins(self):
+        # 1-bit static address: static gets E = D/(D+1).  AFF beats it only
+        # in the degenerate no-contention limit (T=1, zero-bit identifiers),
+        # so the crossover collapses to T ~ 1.
+        assert model.crossover_density(16, 1) == pytest.approx(1.0, abs=1e-3)
+
+
+class TestMinStaticBits:
+    def test_paper_sixteen_bits_for_tens_of_thousands(self):
+        assert model.min_static_bits(65536) == 16
+        assert model.min_static_bits(40000) == 16
+
+    def test_small_networks(self):
+        assert model.min_static_bits(1) == 1
+        assert model.min_static_bits(2) == 1
+        assert model.min_static_bits(3) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            model.min_static_bits(0)
+
+
+class TestExpectedUsefulBits:
+    def test_scales_with_p_success(self):
+        assert model.expected_useful_bits(16, 9, 16) == pytest.approx(
+            16 * model.p_success(9, 16)
+        )
+
+
+class TestListeningModel:
+    def test_below_memoryless_bound(self):
+        for bits in (3, 4, 6, 8, 10):
+            assert model.p_success_listening(bits, 5) > model.p_success(bits, 5)
+
+    def test_no_contention_is_certain(self):
+        assert model.p_success_listening(8, 1) == 1.0
+
+    def test_zero_vulnerability_is_perfect_listening(self):
+        assert model.p_success_listening(4, 16, vulnerability=0.0) == 1.0
+
+    def test_full_vulnerability_collapses_toward_reduced_pool_eq4(self):
+        """v=1 with no avoidance benefit left: success drops but stays a
+        probability."""
+        p = model.p_success_listening(4, 8, vulnerability=1.0)
+        assert 0.0 <= p <= 1.0
+        assert p < model.p_success_listening(4, 8, vulnerability=0.16)
+
+    def test_monotone_in_bits(self):
+        values = [model.p_success_listening(b, 5) for b in range(2, 16)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_zero_bit_space_fails_under_contention(self):
+        assert model.p_success_listening(0, 4) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            model.p_success_listening(-1, 5)
+        with pytest.raises(ValueError):
+            model.p_success_listening(4, 0.5)
+        with pytest.raises(ValueError):
+            model.p_success_listening(4, 5, window_factor=-1)
+        with pytest.raises(ValueError):
+            model.p_success_listening(4, 5, vulnerability=2.0)
+
+
+class TestNetworkLifetimeGain:
+    def test_matches_efficiency_ratio(self):
+        gain = model.network_lifetime_gain(16, 32, 16)
+        best = model.optimal_identifier_bits(16, 16)[1]
+        assert gain == pytest.approx(best / model.efficiency_static(16, 32))
+
+    def test_gain_above_one_in_the_papers_regime(self):
+        """Small data, sparse transactions: AFF extends lifetime ~1.2-1.8x."""
+        assert model.network_lifetime_gain(16, 16, 16) > 1.2
+        assert model.network_lifetime_gain(16, 32, 16) > 1.8
+
+    def test_gain_below_one_when_space_fully_utilised(self):
+        """The paper's 64K-density case: no room for AFF to improve."""
+        assert model.network_lifetime_gain(16, 16, 65536) < 1.0
+
+    def test_zero_bit_static_is_unbeatable(self):
+        import math
+
+        assert model.network_lifetime_gain(16, 0, 16) < 1.0
+        assert model.network_lifetime_gain(0, 16, 2) == math.inf

@@ -1,0 +1,164 @@
+"""Unit tests for allocation policies."""
+
+import random
+
+import pytest
+
+from repro.core.identifiers import IdentifierSpace, ListeningSelector
+from repro.core.policies import (
+    DynamicLocalPolicy,
+    RetriPolicy,
+    StaticGlobalPolicy,
+    StaticLocalPolicy,
+)
+
+
+class TestRetriPolicy:
+    def test_header_bits_equals_space_bits(self):
+        assert RetriPolicy(9).header_bits == 9
+
+    def test_fresh_identifier_per_transaction(self):
+        policy = RetriPolicy(16, rng=random.Random(1))
+        ids = [policy.transaction_identifier(0) for _ in range(20)]
+        assert len(set(ids)) > 1  # almost surely fresh draws
+
+    def test_per_node_selectors_are_independent_streams(self):
+        policy = RetriPolicy(8, rng=random.Random(2))
+        a = policy.selector_for(0)
+        b = policy.selector_for(1)
+        assert a is not b
+        assert policy.selector_for(0) is a
+
+    def test_custom_selector_factory(self):
+        made = []
+
+        def factory(node, space):
+            sel = ListeningSelector(space, random.Random(node))
+            made.append(node)
+            return sel
+
+        policy = RetriPolicy(8, selector_factory=factory)
+        policy.transaction_identifier(3)
+        policy.transaction_identifier(3)
+        assert made == [3]
+
+    def test_not_collision_free(self):
+        assert not RetriPolicy(8).collision_free
+
+    def test_no_control_traffic(self):
+        policy = RetriPolicy(8, rng=random.Random(3))
+        for node in range(10):
+            policy.transaction_identifier(node)
+        assert policy.control_bits_spent == 0
+
+
+class TestStaticGlobalPolicy:
+    def test_addresses_are_stable(self):
+        policy = StaticGlobalPolicy(addr_bits=16, rng=random.Random(1))
+        first = policy.transaction_identifier(7)
+        assert policy.transaction_identifier(7) == first
+
+    def test_addresses_are_unique(self):
+        policy = StaticGlobalPolicy(addr_bits=16, rng=random.Random(2))
+        addresses = [policy.transaction_identifier(n) for n in range(500)]
+        assert len(set(addresses)) == 500
+
+    def test_collision_free(self):
+        assert StaticGlobalPolicy().collision_free
+
+    def test_default_is_ethernet_48_bits(self):
+        assert StaticGlobalPolicy().header_bits == 48
+
+    def test_exhaustion_raises(self):
+        policy = StaticGlobalPolicy(addr_bits=2, rng=random.Random(3))
+        for node in range(4):
+            policy.transaction_identifier(node)
+        with pytest.raises(RuntimeError):
+            policy.transaction_identifier(4)
+
+
+class TestStaticLocalPolicy:
+    def test_bits_are_ceil_log2(self):
+        assert StaticLocalPolicy(range(16)).header_bits == 4
+        assert StaticLocalPolicy(range(17)).header_bits == 5
+        assert StaticLocalPolicy(range(40000)).header_bits == 16
+
+    def test_single_node_gets_one_bit(self):
+        assert StaticLocalPolicy([0]).header_bits == 1
+
+    def test_dense_assignment(self):
+        policy = StaticLocalPolicy([10, 20, 30])
+        addrs = {policy.transaction_identifier(n) for n in (10, 20, 30)}
+        assert addrs == {0, 1, 2}
+
+    def test_late_joiner_cannot_be_addressed(self):
+        """The paper's point: static assignment breaks under dynamics."""
+        policy = StaticLocalPolicy(range(4))
+        with pytest.raises(KeyError):
+            policy.transaction_identifier(99)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StaticLocalPolicy([])
+
+
+class TestDynamicLocalPolicy:
+    def test_join_assigns_unique_addresses(self):
+        policy = DynamicLocalPolicy(addr_bits=8, rng=random.Random(1))
+        for node in range(50):
+            policy.join(node)
+        addrs = [policy.address_of(n) for n in range(50)]
+        assert len(set(addrs)) == 50
+
+    def test_every_join_costs_control_bits(self):
+        policy = DynamicLocalPolicy(addr_bits=8, rng=random.Random(2))
+        policy.join(0)
+        assert policy.control_bits_spent >= policy.header_bits
+        assert policy.claims_sent >= 1
+
+    def test_conflicts_cost_extra(self):
+        """A nearly full address space forces repeated claims."""
+        policy = DynamicLocalPolicy(addr_bits=4, rng=random.Random(3))
+        for node in range(15):
+            policy.join(node)
+        assert policy.conflicts_resolved > 0
+
+    def test_cost_grows_with_churn(self):
+        policy = DynamicLocalPolicy(addr_bits=10, rng=random.Random(4))
+        for node in range(20):
+            policy.join(node)
+        baseline = policy.control_bits_spent
+        for i in range(50):  # churn: replace node (20+i)
+            policy.leave(i % 20)
+            policy.join(100 + i)
+        assert policy.control_bits_spent > baseline
+
+    def test_leave_frees_address(self):
+        policy = DynamicLocalPolicy(addr_bits=1, rng=random.Random(5))
+        policy.join(0)
+        policy.join(1)
+        policy.leave(0)
+        policy.join(2)  # must succeed: one address was freed
+        assert policy.assigned_count() == 2
+
+    def test_saturated_space_raises(self):
+        policy = DynamicLocalPolicy(addr_bits=1, max_attempts=8, rng=random.Random(6))
+        policy.join(0)
+        policy.join(1)
+        with pytest.raises(RuntimeError):
+            policy.join(2)
+
+    def test_transaction_identifier_joins_lazily(self):
+        policy = DynamicLocalPolicy(addr_bits=8, rng=random.Random(7))
+        addr = policy.transaction_identifier(5)
+        assert policy.address_of(5) == addr
+
+    def test_scoped_neighbor_sets_allow_spatial_reuse(self):
+        policy = DynamicLocalPolicy(addr_bits=2, rng=random.Random(8))
+        # Two disjoint neighbourhoods can reuse all four addresses.
+        for node in range(4):
+            policy.join(node, neighbor_addresses={
+                policy.address_of(n) for n in range(node) if n < 2 and node < 2
+                or 2 <= n < node
+            })
+        assert policy.assigned_count() == 4

@@ -1,0 +1,68 @@
+"""Smoke tests: the shipped examples must run and tell their story.
+
+Each example is executed in-process (runpy) with stdout captured; we
+assert on the headline facts each one prints, so a behavioural change
+that breaks an example's narrative fails here rather than in a user's
+terminal.  The long-running validation example is exercised through its
+underlying harness elsewhere (tests/test_experiments_harness.py).
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path, capsys):
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_prints_the_nine_bit_headline(self, capsys):
+        out = run_example("examples/quickstart.py", capsys)
+        assert "optimal identifier size : 9 bits" in out
+        assert "reassembled" in out
+        assert "motion detected in the north-east quadrant" in out
+
+
+class TestSensorField:
+    def test_deploys_and_reports(self, capsys):
+        out = run_example("examples/sensor_field.py", capsys)
+        assert "Deployed 60 sensors" in out
+        assert "packets sent" in out
+        assert "join/leave events" in out
+        # The scaling argument is printed with concrete numbers.
+        assert "log2(N)" in out
+
+
+class TestFloodWarning:
+    def test_prints_the_coverage_table(self, capsys):
+        out = run_example("examples/flood_warning.py", capsys)
+        assert "RETRI 4-bit ids" in out
+        assert "static (src,seq) 14-bit" in out
+        # The 10-bit configuration reaches full coverage.
+        for line in out.splitlines():
+            if line.startswith("RETRI 10-bit ids"):
+                assert "1.000" in line
+                break
+        else:  # pragma: no cover
+            pytest.fail("10-bit row missing")
+
+
+class TestMixedDurations:
+    def test_prints_model_vs_monte_carlo(self, capsys):
+        out = run_example("examples/mixed_durations.py", capsys)
+        assert "Monte Carlo" in out
+        assert "heavy-tailed" in out
+        assert "Eq. 4's single answer" in out
+
+
+class TestInterestGradient:
+    def test_both_modes_run_and_differentiate_sensors(self, capsys):
+        out = run_example("examples/interest_gradient.py", capsys)
+        assert "RETRI mode" in out
+        assert "static mode" in out
+        # Static mode never misdirects.
+        static_section = out.split("static mode", 1)[1]
+        assert "(0 misdirected)" in static_section

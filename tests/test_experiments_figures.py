@@ -1,0 +1,146 @@
+"""Tests asserting the figures reproduce the paper's claimed shapes.
+
+Figures 1-3 are analytic and asserted exactly; Figure 4 runs the full
+simulated stack at reduced duration/trials (shape only).
+"""
+
+import math
+
+import pytest
+
+from repro.core import model
+from repro.experiments.figures import figure_1, figure_2, figure_3, figure_4
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure_1()
+
+    def test_has_all_five_series(self, fig):
+        labels = {s.label for s in fig.series}
+        assert labels == {
+            "AFF T=16",
+            "AFF T=256",
+            "AFF T=65536",
+            "static 16-bit",
+            "static 32-bit",
+        }
+
+    def test_aff_t16_peaks_at_nine_bits(self, fig):
+        x, y = fig.series_by_label("AFF T=16").peak()
+        assert x == 9
+
+    def test_aff_t16_beats_static_16_at_peak(self, fig):
+        _, peak = fig.series_by_label("AFF T=16").peak()
+        assert peak > fig.series_by_label("static 16-bit").y[0]
+
+    def test_static_lines_are_flat(self, fig):
+        for label, expected in (("static 16-bit", 0.5), ("static 32-bit", 1 / 3)):
+            series = fig.series_by_label(label)
+            assert all(v == pytest.approx(expected) for v in series.y)
+
+    def test_aff_t65536_never_beats_static16(self, fig):
+        """The paper's extreme case: no room for AFF to improve."""
+        series = fig.series_by_label("AFF T=65536")
+        assert max(series.y) <= 0.5 + 1e-9
+
+    def test_denser_networks_need_more_bits(self, fig):
+        peaks = [fig.series_by_label(f"AFF T={t}").peak()[0] for t in (16, 256, 65536)]
+        assert peaks == sorted(peaks)
+        assert peaks[0] < peaks[-1]
+
+    def test_table_renders(self, fig):
+        text = fig.render()
+        assert "Figure 1" in text
+        assert "AFF T=16" in text
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure_2()
+
+    def test_larger_data_raises_static_efficiency(self, fig):
+        assert fig.series_by_label("static 16-bit").y[0] == pytest.approx(128 / 144)
+
+    def test_optimum_shifts_right_vs_figure1(self, fig):
+        fig1 = figure_1()
+        for t in (16, 256):
+            assert (
+                fig.series_by_label(f"AFF T={t}").peak()[0]
+                > fig1.series_by_label(f"AFF T={t}").peak()[0]
+            )
+
+    def test_differences_less_pronounced(self, fig):
+        """Figure 2's message: with 128-bit data, AFF ~ static."""
+        _, aff_peak = fig.series_by_label("AFF T=16").peak()
+        static = fig.series_by_label("static 16-bit").y[0]
+        assert abs(aff_peak - static) < 0.1
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure_3()
+
+    def test_static_flat_until_exhaustion_then_undefined(self, fig):
+        series = fig.series_by_label("static 16-bit")
+        for density, value in zip(series.x, series.y):
+            if density <= 2**16:
+                assert value == pytest.approx(0.5)
+            else:
+                assert math.isnan(value)
+
+    def test_aff_still_works_past_static_exhaustion(self, fig):
+        series = fig.series_by_label("AFF 16-bit")
+        beyond = [v for d, v in zip(series.x, series.y) if d > 2**16]
+        assert beyond and all(v > 0 for v in beyond)
+
+    def test_aff_degrades_monotonically_with_load(self, fig):
+        series = fig.series_by_label("AFF 16-bit")
+        assert all(a >= b - 1e-12 for a, b in zip(series.y, series.y[1:]))
+
+    def test_envelope_dominates_fixed_sizes(self, fig):
+        envelope = fig.series_by_label("AFF optimal-H envelope")
+        for label in ("AFF 9-bit", "AFF 16-bit"):
+            fixed = fig.series_by_label(label)
+            assert all(e >= f - 1e-9 for e, f in zip(envelope.y, fixed.y))
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        # Reduced fidelity for test runtime: 2 id sizes, 2 trials, 8 s.
+        return figure_4(id_bits_list=(3, 6), trials=2, duration=8.0, seed=3)
+
+    def test_three_series_present(self, fig):
+        labels = {s.label for s in fig.series}
+        assert labels == {"model T=5", "measured random", "measured listening"}
+
+    def test_model_matches_eq4(self, fig):
+        series = fig.series_by_label("model T=5")
+        for bits, value in zip(series.x, series.y):
+            assert value == pytest.approx(float(model.collision_probability(bits, 5)))
+
+    def test_measured_random_below_model_bound(self, fig):
+        """Eq. 4 is 'a reasonable upper bound'; measurements sit below it."""
+        model_s = fig.series_by_label("model T=5")
+        random_s = fig.series_by_label("measured random")
+        for m, r in zip(model_s.y, random_s.y):
+            assert r <= m + 0.1
+
+    def test_listening_not_worse_than_random(self, fig):
+        random_s = fig.series_by_label("measured random")
+        listening_s = fig.series_by_label("measured listening")
+        assert sum(listening_s.y) <= sum(random_s.y) + 0.05
+
+    def test_rates_fall_with_identifier_size(self, fig):
+        random_s = fig.series_by_label("measured random")
+        assert random_s.y[-1] < random_s.y[0]
+
+    def test_error_bars_present(self, fig):
+        assert fig.series_by_label("measured random").yerr is not None
+
+    def test_table_renders(self, fig):
+        assert "Figure 4" in fig.render()

@@ -1,0 +1,99 @@
+"""Unit tests for ASCII chart rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.plotting import AsciiChart, render_series
+from repro.experiments.results import Series
+
+
+def simple_series(label="s", n=10):
+    return Series(label=label, x=list(range(1, n + 1)), y=[i / n for i in range(n)])
+
+
+class TestAsciiChart:
+    def test_render_contains_title_legend_and_axes(self):
+        text = render_series([simple_series("rising")], title="My Chart",
+                             x_label="bits")
+        assert "My Chart" in text
+        assert "rising" in text
+        assert "bits" in text
+        assert "+" + "-" * 10 in text  # x axis
+
+    def test_each_series_gets_a_distinct_glyph(self):
+        a = simple_series("a")
+        b = Series(label="b", x=a.x, y=[1 - v for v in a.y])
+        text = render_series([a, b])
+        assert "o a" in text and "x b" in text
+        assert "o" in text and "x" in text
+
+    def test_peak_appears_near_top(self):
+        peaked = Series(
+            label="peak", x=list(range(11)),
+            y=[0, 1, 2, 3, 4, 10, 4, 3, 2, 1, 0],
+        )
+        text = render_series([peaked], height=10)
+        body = [line for line in text.splitlines() if "|" in line and "legend" not in line]
+        # The single 10-value lands in the first (topmost) body rows.
+        top_rows = "".join(body[:2])
+        assert "o" in top_rows
+
+    def test_nan_values_skipped(self):
+        s = Series(label="gaps", x=[1, 2, 3, 4], y=[0.5, math.nan, math.nan, 0.7])
+        text = render_series([s])
+        assert "gaps" in text  # renders without error
+
+    def test_all_nan_series_raises(self):
+        s = Series(label="void", x=[1.0], y=[math.nan])
+        with pytest.raises(ValueError):
+            render_series([s])
+
+    def test_log_x_axis(self):
+        s = Series(label="decades", x=[1, 10, 100, 1000], y=[1, 2, 3, 4])
+        text = render_series([s], x_log=True)
+        assert "1e0.0" in text and "1e3.0" in text
+
+    def test_log_x_rejects_nonpositive(self):
+        s = Series(label="bad", x=[0.0, 1.0], y=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            render_series([s], x_log=True)
+
+    def test_error_bars_draw_whiskers(self):
+        s = Series(
+            label="e", x=[1, 2, 3], y=[0.5, 0.5, 0.5], yerr=[0.4, 0.0, 0.4]
+        )
+        text = render_series([s], height=15)
+        assert "|" in "".join(
+            line.split("|", 1)[1] for line in text.splitlines() if "|" in line
+        )
+
+    def test_flat_series_renders(self):
+        s = Series(label="flat", x=[1, 2, 3], y=[0.5, 0.5, 0.5])
+        assert "flat" in render_series([s])
+
+    def test_empty_series_rejected(self):
+        chart = AsciiChart()
+        with pytest.raises(ValueError):
+            chart.add(Series(label="none"))
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiChart(width=5, height=5)
+
+    def test_dimensions_respected(self):
+        text = render_series([simple_series()], width=40, height=8)
+        chart_rows = [line for line in text.splitlines() if " |" in line]
+        assert len(chart_rows) == 8
+        # Every chart row fits the canvas: label(10) + " |" + width cells.
+        assert all(len(line) <= 10 + 2 + 40 for line in chart_rows)
+
+
+class TestFigureIntegration:
+    def test_figure_1_renders(self):
+        from repro.experiments.figures import figure_1
+
+        fig = figure_1()
+        text = render_series(fig.series, title=fig.name)
+        assert "Figure 1" in text
+        assert "AFF T=16" in text

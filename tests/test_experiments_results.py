@@ -1,0 +1,83 @@
+"""Unit tests for result containers and aggregation."""
+
+import math
+
+import pytest
+
+from repro.experiments.results import Series, Table, aggregate_trials
+
+
+class TestSeries:
+    def test_append_and_len(self):
+        s = Series(label="x")
+        s.append(1.0, 0.5)
+        s.append(2.0, 0.7, yerr=0.1)
+        assert len(s) == 2
+        assert s.yerr == [0.1]
+
+    def test_peak(self):
+        s = Series(label="curve", x=[1, 2, 3, 4], y=[0.1, 0.9, 0.4, 0.2])
+        assert s.peak() == (2, 0.9)
+
+    def test_peak_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Series(label="e").peak()
+
+    def test_at_exact_x(self):
+        s = Series(label="c", x=[1.0, 2.0], y=[0.5, 0.6])
+        assert s.at(2.0) == 0.6
+
+    def test_at_missing_x_raises(self):
+        s = Series(label="c", x=[1.0], y=[0.5])
+        with pytest.raises(KeyError):
+            s.at(9.0)
+
+
+class TestTable:
+    def test_render_contains_headers_and_rows(self):
+        t = Table("My Table", ["a", "b"])
+        t.add_row(1, 0.25)
+        text = t.render()
+        assert "My Table" in text
+        assert "a" in text and "b" in text
+        assert "0.2500" in text
+
+    def test_row_arity_checked(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_nan_rendered(self):
+        t = Table("t", ["v"])
+        t.add_row(float("nan"))
+        assert "nan" in t.render()
+
+    def test_small_floats_use_scientific(self):
+        t = Table("t", ["v"])
+        t.add_row(1.5e-6)
+        assert "e-06" in t.render()
+
+    def test_str_is_render(self):
+        t = Table("t", ["v"])
+        t.add_row(1)
+        assert str(t) == t.render()
+
+
+class TestAggregateTrials:
+    def test_mean_and_stdev(self):
+        mean, sd = aggregate_trials([0.1, 0.2, 0.3])
+        assert mean == pytest.approx(0.2)
+        assert sd == pytest.approx(0.1)
+
+    def test_nan_values_excluded(self):
+        mean, sd = aggregate_trials([0.1, float("nan"), 0.3])
+        assert mean == pytest.approx(0.2)
+
+    def test_all_nan_gives_nan(self):
+        mean, sd = aggregate_trials([float("nan")])
+        assert math.isnan(mean) and math.isnan(sd)
+
+    def test_single_value_zero_deviation(self):
+        mean, sd = aggregate_trials([0.5])
+        assert mean == 0.5
+        assert sd == 0.0

@@ -1,0 +1,124 @@
+"""Tests for the extension scenarios (short runs, shape assertions)."""
+
+import math
+
+import pytest
+
+from repro.experiments.scenarios import (
+    codebook_scenario,
+    dynamic_allocation_overhead,
+    hidden_terminal_experiment,
+    interest_scenario,
+    measured_efficiency,
+)
+
+
+class TestMeasuredEfficiency:
+    @pytest.fixture(scope="class")
+    def results(self):
+        aff = measured_efficiency("aff", id_bits=9, duration=20.0, seed=5)
+        static = measured_efficiency("static", id_bits=32, duration=20.0, seed=5)
+        return aff, static
+
+    def test_both_stacks_deliver(self, results):
+        aff, static = results
+        assert aff.packets_delivered > 0
+        assert static.packets_delivered > 0
+
+    def test_aff_more_efficient_for_tiny_packets(self, results):
+        """The paper's headline: short RETRI ids beat 32-bit addresses when
+        the data is a few bytes."""
+        aff, static = results
+        assert aff.efficiency > static.efficiency
+
+    def test_efficiency_in_unit_interval(self, results):
+        for m in results:
+            assert 0.0 < m.efficiency < 1.0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            measured_efficiency("quantum", id_bits=8)
+
+
+class TestDynamicAllocationOverhead:
+    def test_control_cost_grows_with_churn(self):
+        calm = dynamic_allocation_overhead(churn_events=10, seed=1)
+        stormy = dynamic_allocation_overhead(churn_events=500, seed=1)
+        assert stormy["control_bits"] > calm["control_bits"]
+
+    def test_retri_beats_dynamic_under_heavy_churn(self):
+        """Section 2.3: allocation overhead can dwarf the data it serves."""
+        result = dynamic_allocation_overhead(
+            n_nodes=30, addr_bits=10, churn_events=2000, data_bits_per_node=64,
+            seed=2,
+        )
+        assert result["retri_efficiency"] > result["dynamic_efficiency"]
+
+    def test_dynamic_wins_in_static_network(self):
+        """With no churn, the one-time allocation cost amortises away —
+        the paper concedes static/dynamic schemes win in static networks."""
+        result = dynamic_allocation_overhead(
+            n_nodes=30, addr_bits=10, churn_events=0,
+            data_bits_per_node=100_000, seed=3,
+        )
+        assert result["dynamic_efficiency"] > result["retri_efficiency"]
+
+
+class TestHiddenTerminal:
+    @pytest.fixture(scope="class")
+    def rates(self):
+        return hidden_terminal_experiment(id_bits=4, n_senders=4, duration=20.0,
+                                          seed=4)
+
+    def test_listening_helps_on_mesh(self, rates):
+        assert rates["mesh.listening"] < rates["mesh.uniform"]
+
+    def test_listening_useless_on_star(self, rates):
+        """Hidden senders cannot hear each other: listening degenerates to
+        uniform selection (Section 3.2)."""
+        assert rates["star.listening"] == pytest.approx(
+            rates["star.uniform"], abs=0.05
+        )
+
+    def test_uniform_unaffected_by_topology(self, rates):
+        assert rates["star.uniform"] == pytest.approx(
+            rates["mesh.uniform"], abs=0.05
+        )
+
+
+class TestInterestScenario:
+    def test_retri_mode_reports_and_occasionally_misdirects(self):
+        result = interest_scenario(id_bits=4, n_sources=6, duration=40.0, seed=6)
+        assert result["readings_sent"] > 0
+        assert result["reinforcements"] > 0
+        assert result["misdirected"] > 0  # small space, some collisions
+
+    def test_static_mode_never_misdirects(self):
+        result = interest_scenario(
+            id_bits=6, n_sources=6, duration=40.0, static=True, seed=6
+        )
+        assert result["misdirected"] == 0
+
+    def test_wide_retri_space_rarely_misdirects(self):
+        narrow = interest_scenario(id_bits=3, n_sources=6, duration=30.0, seed=7)
+        wide = interest_scenario(id_bits=12, n_sources=6, duration=30.0, seed=7)
+        assert wide["misdirection_rate"] < narrow["misdirection_rate"]
+
+
+class TestCodebookScenario:
+    def test_retri_codebooks_decode_mostly_correctly(self):
+        result = codebook_scenario(code_bits=8, reports=120, seed=8)
+        assert result["decoded"] > 0
+        assert result["correct"] >= result["decoded"] - result["misdecoded"]
+
+    def test_static_codes_never_misdecode(self):
+        result = codebook_scenario(code_bits=8, reports=120, static=True, seed=8)
+        assert result["misdecoded"] == 0
+        assert result["undecodable"] == 0
+
+    def test_narrow_code_space_causes_clashes(self):
+        result = codebook_scenario(
+            code_bits=3, n_senders=8, n_attributes=6, reports=200,
+            binding_lifetime=10.0, seed=9,
+        )
+        assert result["clashes_detected"] > 0

@@ -1,0 +1,100 @@
+"""Unit tests for the generic parameter-sweep utility."""
+
+import math
+
+import pytest
+
+from repro.experiments.sweep import grid_sweep
+
+
+def deterministic_trial(a, b, seed):
+    """A fake observable: linear in params; replicate k (seed = 1000k)
+    shifts it by k/2."""
+    return a * 10 + b + (seed // 1000) * 0.5
+
+
+class TestGridSweep:
+    def test_covers_cartesian_product_in_order(self):
+        result = grid_sweep(
+            deterministic_trial, grid={"a": [1, 2], "b": [0, 5]}, trials=1
+        )
+        combos = [(p.params["a"], p.params["b"]) for p in result.points]
+        assert combos == [(1, 0), (1, 5), (2, 0), (2, 5)]
+
+    def test_replication_uses_distinct_seeds(self):
+        result = grid_sweep(
+            deterministic_trial, grid={"a": [1], "b": [0]}, trials=3
+        )
+        point = result.points[0]
+        assert len(point.values) == 3
+        assert len(set(point.values)) == 3  # seeds 0, 1000, 2000 differ
+
+    def test_mean_and_stdev(self):
+        result = grid_sweep(
+            lambda x, seed: x + (seed // 1000), grid={"x": [10]}, trials=3
+        )
+        point = result.point(x=10)
+        assert point.mean == pytest.approx(11.0)  # values 10, 11, 12
+        assert point.stdev == pytest.approx(1.0)
+
+    def test_point_lookup(self):
+        result = grid_sweep(
+            deterministic_trial, grid={"a": [1, 2], "b": [3]}, trials=1
+        )
+        assert result.mean(a=2, b=3) == pytest.approx(23.0)
+        with pytest.raises(KeyError):
+            result.point(a=99)
+
+    def test_series_extraction(self):
+        result = grid_sweep(
+            deterministic_trial, grid={"a": [1, 2, 3], "b": [0, 1]}, trials=2
+        )
+        series = result.series("a", b=1)
+        assert series.x == [1, 2, 3]
+        # replicates at +0 and +0.5 -> mean +0.25
+        assert series.y[0] == pytest.approx(11.25)
+        assert series.yerr is not None
+
+    def test_nan_trials_excluded_from_mean(self):
+        calls = []
+
+        def flaky(x, seed):
+            calls.append(seed)
+            return float("nan") if seed == 0 else 5.0
+
+        result = grid_sweep(flaky, grid={"x": [1]}, trials=2)
+        assert result.mean(x=1) == 5.0
+
+    def test_to_table(self):
+        result = grid_sweep(
+            deterministic_trial, grid={"a": [1], "b": [2]}, trials=1
+        )
+        text = result.to_table("sweep", value_name="loss").render()
+        assert "sweep" in text
+        assert "loss mean" in text
+
+    def test_seedless_mode(self):
+        result = grid_sweep(
+            lambda x: float(x * 2), grid={"x": [1, 2]}, trials=1, seed_param=""
+        )
+        assert result.mean(x=2) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_sweep(lambda seed: 0.0, grid={}, trials=1)
+        with pytest.raises(ValueError):
+            grid_sweep(lambda x, seed: 0.0, grid={"x": [1]}, trials=0)
+
+    def test_integration_with_collision_trials(self):
+        """End-to-end: sweep the real harness over identifier sizes."""
+        from repro.experiments.harness import CollisionTrialConfig, run_collision_trial
+
+        def trial(id_bits, seed):
+            return run_collision_trial(
+                CollisionTrialConfig(
+                    id_bits=id_bits, n_senders=3, duration=4.0, seed=seed
+                )
+            ).collision_loss_rate
+
+        result = grid_sweep(trial, grid={"id_bits": [3, 8]}, trials=2)
+        assert result.mean(id_bits=8) < result.mean(id_bits=3)

@@ -1,0 +1,86 @@
+"""Golden-value regression tests.
+
+The reproduction's selling point is bit-for-bit determinism; these tests
+pin exact seeded outputs of the main pipelines so any unintended
+behavioural change — a reordered RNG draw, a changed tie-break, a codec
+tweak — fails loudly rather than silently shifting every published
+number.
+
+If a change is *intentional* (a bug fix that legitimately alters
+results), update the constants here and note it in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core import model
+from repro.experiments.harness import CollisionTrialConfig, run_collision_trial
+
+
+class TestAnalyticGoldenValues:
+    """Closed forms: these must never drift at all."""
+
+    def test_eq4_values(self):
+        assert float(model.p_success(9, 16)) == pytest.approx(
+            0.9430357887310378, abs=1e-15
+        )
+        assert float(model.p_success(4, 5)) == pytest.approx(
+            (15 / 16) ** 8, abs=1e-15
+        )
+
+    def test_figure1_optima(self):
+        assert model.optimal_identifier_bits(16, 16) == (
+            9,
+            pytest.approx(0.6035429047878642, abs=1e-12),
+        )
+        assert model.optimal_identifier_bits(16, 256)[0] == 13
+        assert model.optimal_identifier_bits(16, 65536)[0] == 22
+        assert model.optimal_identifier_bits(128, 16)[0] == 12
+
+    def test_crossover_value(self):
+        assert model.crossover_density(16, 16) == pytest.approx(529.7, abs=1.0)
+
+    def test_lifetime_gains(self):
+        assert model.network_lifetime_gain(16, 32, 16) == pytest.approx(
+            1.8106, abs=1e-3
+        )
+
+    def test_mixed_model_value(self):
+        assert model.p_success_mixed(6, 5.0, [1.0]) == pytest.approx(
+            0.8553453273074225, abs=1e-12
+        )
+
+
+class TestSimulationGoldenValues:
+    """Seeded end-to-end runs: pin the exact counters.
+
+    These encode the whole stack's determinism — kernel ordering, RNG
+    stream derivation, MAC timing, codec layout, reassembly semantics.
+    """
+
+    @pytest.fixture(scope="class")
+    def trial(self):
+        return run_collision_trial(
+            CollisionTrialConfig(
+                id_bits=4, n_senders=5, duration=10.0, selector="uniform", seed=7
+            )
+        )
+
+    def test_traffic_counters(self, trial):
+        assert trial.packets_offered == 356
+        assert trial.received_unique == 356
+
+    def test_collision_counters(self, trial):
+        assert trial.would_be_lost == 113
+        assert trial.received_aff == 243
+
+    def test_density(self, trial):
+        assert trial.measured_density == pytest.approx(4.6679, abs=1e-3)
+
+    def test_listening_variant(self):
+        result = run_collision_trial(
+            CollisionTrialConfig(
+                id_bits=4, n_senders=5, duration=10.0, selector="listening", seed=7
+            )
+        )
+        assert result.would_be_lost == 46
+        assert result.received_unique == 356

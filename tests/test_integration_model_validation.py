@@ -1,0 +1,80 @@
+"""Statistical validation: the simulated stack reproduces Eq. 4.
+
+These are the test-suite versions of the Figure 4 benchmark: shorter
+runs with tolerant bounds, checking the *relationships* the paper
+asserts rather than exact rates.
+"""
+
+import pytest
+
+from repro.core import model
+from repro.experiments.harness import CollisionTrialConfig, run_collision_trial
+
+
+def trial(id_bits, selector="uniform", seed=0, duration=25.0, n_senders=5):
+    return run_collision_trial(
+        CollisionTrialConfig(
+            id_bits=id_bits,
+            n_senders=n_senders,
+            duration=duration,
+            selector=selector,
+            seed=seed,
+        )
+    )
+
+
+class TestModelAgreement:
+    @pytest.mark.parametrize("id_bits", [3, 4, 5, 6])
+    def test_uniform_rate_tracks_model_from_below(self, id_bits):
+        """Eq. 4 is the pessimistic bound for uniform selection: the
+        measured rate must sit below it but within the same regime."""
+        result = trial(id_bits, seed=17)
+        bound = float(model.collision_probability(id_bits, 5))
+        measured = result.collision_loss_rate
+        assert measured <= bound + 0.05
+        # Same regime: at least a third of the bound (the bound uses the
+        # worst-case overlap count 2(T-1); real overlap is a bit lower).
+        assert measured >= bound * 0.3
+
+    def test_measured_density_close_to_sender_count(self):
+        result = trial(5, seed=23)
+        assert result.measured_density == pytest.approx(5.0, abs=0.8)
+
+    def test_rate_scales_with_density(self):
+        """More concurrent senders -> more collisions, as 2(T-1) predicts."""
+        small = trial(5, n_senders=2, seed=29)
+        large = trial(5, n_senders=8, seed=29)
+        assert large.collision_loss_rate > small.collision_loss_rate
+
+    def test_halving_the_space_roughly_doubles_small_rates(self):
+        """In the small-rate regime, 1-(1-2^-H)^k ~ k*2^-H: one bit less
+        of identifier should roughly double the collision rate."""
+        r6 = trial(6, seed=31, duration=40.0)
+        r7 = trial(7, seed=31, duration=40.0)
+        ratio = r6.collision_loss_rate / max(r7.collision_loss_rate, 1e-9)
+        assert 1.2 < ratio < 4.0
+
+    def test_ground_truth_log_matches_model_too(self):
+        result = trial(4, seed=37)
+        bound = float(model.collision_probability(4, 5))
+        assert result.ground_truth_collision_rate == pytest.approx(bound, abs=0.12)
+
+
+class TestListeningImprovement:
+    def test_listening_substantially_below_uniform_at_small_spaces(self):
+        uniform = trial(4, selector="uniform", seed=41)
+        listening = trial(4, selector="listening", seed=41)
+        assert listening.collision_loss_rate < uniform.collision_loss_rate * 0.8
+
+    def test_listening_below_model_bound(self):
+        """The paper: 'Heuristics such as listening can improve
+        significantly on this bound in practice.'"""
+        listening = trial(5, selector="listening", seed=43)
+        bound = float(model.collision_probability(5, 5))
+        assert listening.collision_loss_rate < bound
+
+    def test_oracle_is_the_floor(self):
+        oracle = trial(4, selector="oracle", seed=47)
+        listening = trial(4, selector="listening", seed=47)
+        assert oracle.collision_loss_rate == 0.0
+        assert listening.collision_loss_rate >= 0.0

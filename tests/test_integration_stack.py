@@ -1,0 +1,271 @@
+"""Integration tests: the full stack under adverse conditions.
+
+These exercise sender -> MAC -> medium -> channel -> reassembly paths
+with failure injection (frame loss, bursty loss, RF collisions, churn)
+and check the system degrades the way the paper assumes: losses, never
+corrupted deliveries; and deterministic given a seed.
+"""
+
+import random
+
+import pytest
+
+from repro.aff.driver import AffDriver
+from repro.aff.instrumented import InstrumentedReceiver
+from repro.apps.workloads import ContinuousStreamSender, PeriodicSender
+from repro.core.identifiers import IdentifierSpace, UniformSelector
+from repro.net.packets import Packet
+from repro.radio.channel import BernoulliChannel, GilbertElliottChannel
+from repro.radio.mac import AlohaMac, CsmaMac
+from repro.radio.medium import BroadcastMedium
+from repro.radio.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.topology.graphs import DiskGraph, FullMesh, Line
+from repro.topology.dynamics import ChurnProcess
+
+
+def sha(payloads):
+    import hashlib
+
+    h = hashlib.sha256()
+    for p in sorted(payloads):
+        h.update(p)
+    return h.hexdigest()
+
+
+class TestLossyChannels:
+    def _run_with_channel(self, channel_factory, seed=0, duration=30.0):
+        rngs = RngRegistry(seed)
+        sim = Simulator()
+        medium = BroadcastMedium(
+            sim,
+            FullMesh(range(3)),
+            rf_collisions=False,
+            channel_factory=channel_factory,
+            rng=rngs.stream("medium"),
+        )
+        sent, got = [], []
+        drivers = []
+        for node in range(3):
+            radio = Radio(medium, node)
+            drivers.append(
+                AffDriver(
+                    radio,
+                    UniformSelector(IdentifierSpace(16), rngs.stream(f"sel{node}")),
+                    deliver=(lambda p, node=node: got.append((node, p))),
+                    reassembly_timeout=2.0,
+                )
+            )
+        rng = rngs.stream("traffic")
+        for i in range(40):
+            payload = rng.randbytes(60)
+            sent.append(payload)
+            sim.schedule(i * 0.5, drivers[0].send, Packet(payload=payload, origin=0))
+        sim.run(until=duration)
+        return sent, [p for node, p in got if node == 1]
+
+    def test_bernoulli_loss_drops_packets_but_never_corrupts(self):
+        sent, received = self._run_with_channel(
+            lambda s, r: BernoulliChannel(0.15), seed=1
+        )
+        assert 0 < len(received) < len(sent)
+        sent_set = set(sent)
+        assert all(p in sent_set for p in received)
+
+    def test_bursty_loss_also_never_corrupts(self):
+        sent, received = self._run_with_channel(
+            lambda s, r: GilbertElliottChannel(p_good_to_bad=0.05, p_bad_to_good=0.2),
+            seed=2,
+        )
+        assert 0 < len(received) < len(sent)
+        assert all(p in set(sent) for p in received)
+
+    def test_higher_loss_delivers_fewer(self):
+        _, light = self._run_with_channel(lambda s, r: BernoulliChannel(0.05), seed=3)
+        _, heavy = self._run_with_channel(lambda s, r: BernoulliChannel(0.40), seed=3)
+        assert len(heavy) < len(light)
+
+
+class TestRfCollisionsWithCsma:
+    def test_contending_senders_still_deliver_with_csma(self):
+        rngs = RngRegistry(7)
+        sim = Simulator()
+        medium = BroadcastMedium(
+            sim, FullMesh(range(4)), rf_collisions=True, rng=rngs.stream("m")
+        )
+        got = []
+        receivers_radio = Radio(
+            medium, 3, mac=CsmaMac(rng=rngs.stream("mac3"))
+        )
+        AffDriver(
+            receivers_radio,
+            UniformSelector(IdentifierSpace(16), rngs.stream("sel3")),
+            deliver=got.append,
+        )
+        for node in range(3):
+            radio = Radio(
+                medium, node,
+                mac=CsmaMac(rng=rngs.stream(f"mac{node}"), max_attempts=200),
+            )
+            driver = AffDriver(
+                radio, UniformSelector(IdentifierSpace(16), rngs.stream(f"sel{node}"))
+            )
+            sender = PeriodicSender(
+                sim, driver, node_id=node, packet_bytes=40, duration=30.0,
+                rng=rngs.stream(f"t{node}"), interval=1.0, jitter=0.5,
+            )
+            sender.start()
+        sim.run(until=35.0)
+        assert len(got) > 50  # most of ~90 packets arrive despite contention
+
+
+class TestChurnDuringTraffic:
+    def test_nodes_leaving_mid_transfer_is_survivable(self):
+        rngs = RngRegistry(11)
+        sim = Simulator()
+        topo = FullMesh(range(5))
+        medium = BroadcastMedium(sim, topo, rf_collisions=False,
+                                 rng=rngs.stream("m"))
+        got = []
+        drivers = {}
+        for node in range(5):
+            radio = Radio(medium, node)
+            drivers[node] = AffDriver(
+                radio,
+                UniformSelector(IdentifierSpace(12), rngs.stream(f"s{node}")),
+                deliver=(lambda p, node=node: got.append((node, p))),
+            )
+            if node > 0:
+                sender = PeriodicSender(
+                    sim, drivers[node], node_id=node, packet_bytes=60,
+                    duration=30.0, rng=rngs.stream(f"t{node}"), interval=0.5,
+                )
+                sender.start()
+
+        # Node 4 fails at t=10 (radio detached, topology unchanged first,
+        # then removed — as a crashed node would be).
+        def fail_node():
+            drivers[4].radio.shutdown()
+            topo.remove_node(4)
+
+        sim.schedule(10.0, fail_node)
+        sim.run(until=31.0)
+        receivers_of_0 = [p for node, p in got if node == 0]
+        assert len(receivers_of_0) > 30  # traffic from survivors flows on
+
+    def test_churned_topology_with_poisson_churn_process(self):
+        rngs = RngRegistry(13)
+        sim = Simulator()
+        topo = FullMesh(range(4))
+        medium = BroadcastMedium(sim, topo, rf_collisions=False,
+                                 rng=rngs.stream("m"))
+        got = []
+        for node in range(4):
+            radio = Radio(medium, node)
+            driver = AffDriver(
+                radio,
+                UniformSelector(IdentifierSpace(12), rngs.stream(f"s{node}")),
+                deliver=got.append,
+            )
+            if node != 0:
+                PeriodicSender(
+                    sim, driver, node_id=node, packet_bytes=30, duration=20.0,
+                    rng=rngs.stream(f"t{node}"), interval=1.0,
+                ).start()
+        churn = ChurnProcess(
+            sim, topo, join_rate=0.5, rng=rngs.stream("churn")
+        )
+        churn.start()
+        sim.run(until=21.0)
+        assert got  # the network kept working while the topology changed
+
+
+class TestMultihopVisibility:
+    def test_line_topology_scopes_delivery(self):
+        """AFF is single-hop: on a line, only direct neighbours receive."""
+        rngs = RngRegistry(17)
+        sim = Simulator()
+        medium = BroadcastMedium(sim, Line(4), rf_collisions=False,
+                                 rng=rngs.stream("m"))
+        got = {n: [] for n in range(4)}
+        drivers = {}
+        for node in range(4):
+            radio = Radio(medium, node)
+            drivers[node] = AffDriver(
+                radio,
+                UniformSelector(IdentifierSpace(12), rngs.stream(f"s{node}")),
+                deliver=got[node].append,
+            )
+        drivers[0].send(Packet(payload=b"hop" * 20, origin=0))
+        sim.run()
+        assert got[1] == [b"hop" * 20]
+        assert got[2] == [] and got[3] == []
+
+    def test_spatial_reuse_on_disconnected_segments(self):
+        """Far-apart senders may use the same identifier simultaneously
+        without any interference — RETRI's spatial locality."""
+        rngs = RngRegistry(19)
+        sim = Simulator()
+        graph = DiskGraph(radio_range=0.2)
+        graph.place(0, 0.0, 0.0)
+        graph.place(1, 0.1, 0.0)   # pair A
+        graph.place(2, 0.9, 0.9)
+        graph.place(3, 0.8, 0.9)   # pair B, out of range of pair A
+        medium = BroadcastMedium(sim, graph, rf_collisions=True,
+                                 rng=rngs.stream("m"))
+        got = {n: [] for n in range(4)}
+        drivers = {}
+
+        class Fixed(UniformSelector):
+            def select(self):
+                return 5  # everyone picks the same identifier
+
+        for node in range(4):
+            radio = Radio(medium, node)
+            drivers[node] = AffDriver(
+                radio,
+                Fixed(IdentifierSpace(4), rngs.stream(f"s{node}")),
+                deliver=got[node].append,
+            )
+        drivers[0].send(Packet(payload=b"A" * 50, origin=0))
+        drivers[2].send(Packet(payload=b"B" * 50, origin=2))
+        sim.run()
+        assert got[1] == [b"A" * 50]
+        assert got[3] == [b"B" * 50]
+
+
+class TestDeterminism:
+    def _full_run(self, seed):
+        rngs = RngRegistry(seed)
+        sim = Simulator()
+        medium = BroadcastMedium(
+            sim,
+            FullMesh(range(4)),
+            rf_collisions=False,
+            channel_factory=lambda s, r: BernoulliChannel(0.1),
+            rng=rngs.stream("m"),
+        )
+        receiver = InstrumentedReceiver(Radio(medium, 3), id_bits=6)
+        for node in range(3):
+            radio = Radio(medium, node, mac=AlohaMac(gap=0.02))
+            driver = AffDriver(
+                radio, UniformSelector(IdentifierSpace(6), rngs.stream(f"s{node}"))
+            )
+            ContinuousStreamSender(
+                sim, driver, node_id=node, packet_bytes=80, duration=10.0,
+                rng=rngs.stream(f"t{node}"),
+            ).start()
+        sim.run(until=11.0)
+        return (
+            receiver.counts.received_unique,
+            receiver.counts.would_be_lost,
+            receiver.counts.received_aff,
+            sim.events_processed,
+        )
+
+    def test_identical_seeds_identical_universes(self):
+        assert self._full_run(123) == self._full_run(123)
+
+    def test_different_seeds_diverge(self):
+        assert self._full_run(123) != self._full_run(321)

@@ -1,0 +1,166 @@
+"""Depth tests for corners the main suites skim over."""
+
+import random
+
+import pytest
+
+from repro.aff.driver import AffDriver
+from repro.aff.wire import FragmentCodec
+from repro.core.identifiers import IdentifierSpace, ListeningSelector, UniformSelector
+from repro.core.policies import ColoringLocalPolicy
+from repro.net.packets import Packet
+from repro.radio.frame import Frame
+from repro.radio.medium import BroadcastMedium
+from repro.radio.radio import Radio
+from repro.sim.engine import Simulator
+from repro.topology.dynamics import RandomWaypoint
+from repro.topology.graphs import DiskGraph, FullMesh
+
+
+class TestEncodedSizeInvariant:
+    def test_encoded_length_is_exact_bit_ceiling(self):
+        """No hidden slack: a frame is exactly ceil(bits/8) bytes."""
+        from repro.aff.wire import DataFragment, IntroFragment
+
+        for id_bits in range(0, 33):
+            codec = FragmentCodec(id_bits)
+            intro = IntroFragment(identifier=0, total_length=100, checksum=1)
+            assert len(codec.encode(intro)) == (codec.intro_header_bits + 7) // 8
+            for n in (0, 1, 7, 22):
+                frag = DataFragment(identifier=0, offset=0, payload=b"\x01" * n)
+                expected_bits = codec.data_header_bits + 8 * n
+                assert len(codec.encode(frag)) == (expected_bits + 7) // 8
+
+
+class TestDutyCycleStatistics:
+    def test_partial_duty_observes_roughly_that_fraction(self):
+        sim = Simulator()
+        medium = BroadcastMedium(sim, FullMesh(range(2)), rf_collisions=False)
+        tx = AffDriver(
+            Radio(medium, 0),
+            UniformSelector(IdentifierSpace(8), random.Random(1)),
+        )
+        listener = ListeningSelector(IdentifierSpace(8), random.Random(2))
+        rx = AffDriver(
+            Radio(medium, 1),
+            listener,
+            listening=True,
+            listen_duty_cycle=0.3,
+            listen_rng=random.Random(3),
+        )
+        n = 300
+        for i in range(n):
+            sim.schedule(i * 0.05, tx.send, Packet(payload=b"x" * 4, origin=0))
+        sim.run(until=n * 0.05 + 5)
+        observed = len(listener._heard)
+        assert observed == pytest.approx(0.3 * n, rel=0.25)
+
+    def test_full_duty_observes_everything(self):
+        sim = Simulator()
+        medium = BroadcastMedium(sim, FullMesh(range(2)), rf_collisions=False)
+        tx = AffDriver(
+            Radio(medium, 0),
+            UniformSelector(IdentifierSpace(8), random.Random(1)),
+        )
+        listener = ListeningSelector(IdentifierSpace(8), random.Random(2))
+        AffDriver(Radio(medium, 1), listener, listening=True)
+        for i in range(50):
+            sim.schedule(i * 0.05, tx.send, Packet(payload=b"x" * 4, origin=0))
+        sim.run(until=10.0)
+        assert len(listener._heard) == 50
+
+    def test_invalid_duty_cycle_rejected(self):
+        sim = Simulator()
+        medium = BroadcastMedium(sim, FullMesh(range(1)), rf_collisions=False)
+        with pytest.raises(ValueError):
+            AffDriver(
+                Radio(medium, 0),
+                UniformSelector(IdentifierSpace(8), random.Random(1)),
+                listen_duty_cycle=1.5,
+            )
+
+
+class TestNotificationAccounting:
+    def test_notifications_charged_as_control_bits(self):
+        from repro.aff.wire import DataFragment
+
+        sim = Simulator()
+        medium = BroadcastMedium(sim, FullMesh(range(3)), rf_collisions=False)
+        hub = AffDriver(
+            Radio(medium, 2),
+            UniformSelector(IdentifierSpace(6), random.Random(1)),
+            notify_collisions=True,
+        )
+
+        class Fixed(UniformSelector):
+            def select(self):
+                self.selections += 1
+                return 5
+
+        senders = [
+            AffDriver(
+                Radio(medium, n), Fixed(IdentifierSpace(6), random.Random(n))
+            )
+            for n in (0, 1)
+        ]
+        for d in senders:
+            marker = bytes([0xC0 + d.radio.node_id])
+            d.send(Packet(payload=marker * 60, origin=d.radio.node_id))
+        sim.run()
+        assert hub.stats.notifications_sent >= 1
+        expected_bits_each = 8 * ((hub.codec.notify_bits + 7) // 8)
+        assert (
+            hub.budget.transmitted("control")
+            == hub.stats.notifications_sent * expected_bits_each
+        )
+
+
+class TestColoringUnderMobility:
+    def test_movement_invalidates_and_recoloring_restores(self):
+        sim = Simulator()
+        graph = DiskGraph(radio_range=0.3)
+        rng = random.Random(4)
+        for i in range(15):
+            graph.place(i, rng.uniform(0, 1), rng.uniform(0, 1))
+        policy = ColoringLocalPolicy(graph)
+        assert policy.is_valid()
+        walker = RandomWaypoint(sim, graph, speed=0.5, step=0.5,
+                                rng=random.Random(5))
+        walker.start()
+        invalidations = 0
+        for _ in range(20):
+            sim.run(until=sim.now + 0.5)
+            if not policy.is_valid():
+                invalidations += 1
+                policy.recolor()
+                assert policy.is_valid()
+        # Mobility at this speed must have forced at least one recolour —
+        # the maintenance cost RETRI avoids.
+        assert invalidations > 0
+        assert policy.colorings_computed == invalidations + 1
+
+
+class TestMediumStats:
+    def test_delivery_and_drop_counts_are_disjoint_and_complete(self):
+        from repro.radio.channel import BernoulliChannel
+
+        sim = Simulator()
+        medium = BroadcastMedium(
+            sim,
+            FullMesh(range(3)),
+            rf_collisions=False,
+            channel_factory=lambda s, r: BernoulliChannel(0.5),
+            rng=random.Random(6),
+        )
+        tx = Radio(medium, 0)
+        Radio(medium, 1)
+        Radio(medium, 2)
+        n = 100
+        for i in range(n):
+            sim.schedule(i * 0.1, tx.send, Frame(payload=b"z", origin=0))
+        sim.run(until=n * 0.1 + 1)
+        stats = medium.stats
+        assert stats.frames_sent == n
+        # Each frame faces two receivers: outcomes partition exactly.
+        assert stats.deliveries + stats.channel_drops == 2 * n
+        assert 0 < stats.deliveries < 2 * n

@@ -1,0 +1,85 @@
+"""Unit tests for packets and the bit-efficiency ledger."""
+
+import math
+
+import pytest
+
+from repro.net.packets import BitBudget, Packet, next_packet_seq
+
+
+class TestPacket:
+    def test_sizes(self):
+        p = Packet(payload=b"\x01" * 10)
+        assert p.size_bytes == 10
+        assert p.size_bits == 80
+
+    def test_seq_is_unique(self):
+        a = Packet(payload=b"")
+        b = Packet(payload=b"")
+        assert a.seq != b.seq
+
+    def test_ground_truth_key_includes_origin(self):
+        a = Packet(payload=b"x", origin=1)
+        b = Packet(payload=b"x", origin=2)
+        assert a.ground_truth_key() != b.ground_truth_key()
+        assert a.ground_truth_key() == (1, a.seq)
+
+    def test_next_packet_seq_monotone(self):
+        assert next_packet_seq() < next_packet_seq()
+
+
+class TestBitBudget:
+    def test_empty_budget_efficiency_is_nan(self):
+        assert math.isnan(BitBudget().efficiency())
+
+    def test_efficiency_matches_eq1(self):
+        b = BitBudget()
+        b.charge_transmit("header", 16)
+        b.charge_transmit("payload", 48)
+        b.credit_useful(48)
+        assert b.efficiency() == pytest.approx(48 / 64)
+
+    def test_categories_tracked_separately(self):
+        b = BitBudget()
+        b.charge_transmit("header", 10)
+        b.charge_transmit("header", 5)
+        b.charge_transmit("control", 7)
+        assert b.transmitted("header") == 15
+        assert b.transmitted("control") == 7
+        assert b.total_transmitted == 22
+        assert b.by_category() == {"header": 15, "control": 7}
+
+    def test_useful_bits_accumulate(self):
+        b = BitBudget()
+        b.credit_useful(10)
+        b.credit_useful(20)
+        assert b.useful_received == 30
+
+    def test_negative_amounts_rejected(self):
+        b = BitBudget()
+        with pytest.raises(ValueError):
+            b.charge_transmit("x", -1)
+        with pytest.raises(ValueError):
+            b.credit_useful(-1)
+
+    def test_merge_combines_ledgers(self):
+        a = BitBudget()
+        a.charge_transmit("header", 10)
+        a.credit_useful(4)
+        b = BitBudget()
+        b.charge_transmit("header", 5)
+        b.charge_transmit("payload", 20)
+        b.credit_useful(16)
+        a.merge(b)
+        assert a.transmitted("header") == 15
+        assert a.transmitted("payload") == 20
+        assert a.useful_received == 20
+
+    def test_lost_transaction_lowers_efficiency(self):
+        """The cost of a failed transaction is paid but never credited."""
+        b = BitBudget()
+        for _ in range(2):  # two transactions, one succeeds
+            b.charge_transmit("header", 9)
+            b.charge_transmit("payload", 16)
+        b.credit_useful(16)
+        assert b.efficiency() == pytest.approx(16 / 50)

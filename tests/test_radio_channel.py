@@ -1,0 +1,84 @@
+"""Unit tests for loss-channel models."""
+
+import random
+
+import pytest
+
+from repro.radio.channel import (
+    BernoulliChannel,
+    GilbertElliottChannel,
+    PerfectChannel,
+)
+
+
+class TestPerfectChannel:
+    def test_never_drops(self):
+        chan = PerfectChannel()
+        rng = random.Random(0)
+        assert all(chan.deliver(rng) for _ in range(1000))
+
+
+class TestBernoulliChannel:
+    def test_zero_loss_delivers_everything(self):
+        chan = BernoulliChannel(0.0)
+        rng = random.Random(1)
+        assert all(chan.deliver(rng) for _ in range(500))
+
+    def test_total_loss_drops_everything(self):
+        chan = BernoulliChannel(1.0)
+        rng = random.Random(1)
+        assert not any(chan.deliver(rng) for _ in range(500))
+
+    def test_empirical_rate_close_to_parameter(self):
+        chan = BernoulliChannel(0.3)
+        rng = random.Random(42)
+        n = 20000
+        drops = sum(0 if chan.deliver(rng) else 1 for _ in range(n))
+        assert drops / n == pytest.approx(0.3, abs=0.02)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliChannel(1.5)
+        with pytest.raises(ValueError):
+            BernoulliChannel(-0.1)
+
+
+class TestGilbertElliott:
+    def test_stationary_loss_rate_formula(self):
+        chan = GilbertElliottChannel(
+            p_good_to_bad=0.1, p_bad_to_good=0.3, good_loss=0.0, bad_loss=1.0
+        )
+        # pi_bad = 0.1 / 0.4 = 0.25
+        assert chan.stationary_loss_rate() == pytest.approx(0.25)
+
+    def test_empirical_rate_matches_stationary(self):
+        chan = GilbertElliottChannel(p_good_to_bad=0.05, p_bad_to_good=0.2)
+        rng = random.Random(7)
+        n = 50000
+        drops = sum(0 if chan.deliver(rng) else 1 for _ in range(n))
+        assert drops / n == pytest.approx(chan.stationary_loss_rate(), abs=0.02)
+
+    def test_losses_are_bursty(self):
+        """Consecutive-loss runs must be longer than under i.i.d. loss."""
+        chan = GilbertElliottChannel(p_good_to_bad=0.02, p_bad_to_good=0.1)
+        rng = random.Random(11)
+        outcomes = [chan.deliver(rng) for _ in range(50000)]
+        # mean run length of drops
+        runs, current = [], 0
+        for ok in outcomes:
+            if not ok:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        mean_run = sum(runs) / len(runs)
+        # Bad state persists ~1/0.1 = 10 frames; i.i.d. would give ~1.2.
+        assert mean_run > 3.0
+
+    def test_degenerate_no_transitions(self):
+        chan = GilbertElliottChannel(p_good_to_bad=0.0, p_bad_to_good=0.0)
+        assert chan.stationary_loss_rate() == 0.0  # starts (and stays) good
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(p_good_to_bad=2.0, p_bad_to_good=0.1)

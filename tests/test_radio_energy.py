@@ -1,0 +1,57 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.radio.energy import (
+    RPC_PROFILE,
+    WIFI_LIKE_PROFILE,
+    EnergyMeter,
+    EnergyModel,
+)
+
+
+class TestEnergyModel:
+    def test_frame_costs_include_overhead(self):
+        model = EnergyModel(
+            tx_per_bit=1.0, rx_per_bit=0.5, per_frame_overhead_bits=10
+        )
+        assert model.frame_tx_cost(100) == pytest.approx(110.0)
+        assert model.frame_rx_cost(100) == pytest.approx(55.0)
+
+    def test_profiles_differ_in_overhead(self):
+        assert (
+            WIFI_LIKE_PROFILE.per_frame_overhead_bits
+            > RPC_PROFILE.per_frame_overhead_bits
+        )
+
+    def test_saved_header_bits_matter_less_under_wifi_overhead(self):
+        """Section 4.4: AFF's bit savings wash out under heavy MAC overhead."""
+        bits_aff, bits_static = 9 + 16, 32 + 16  # header+data per packet
+        saving_rpc = 1 - RPC_PROFILE.frame_tx_cost(bits_aff) / RPC_PROFILE.frame_tx_cost(
+            bits_static
+        )
+        saving_wifi = 1 - WIFI_LIKE_PROFILE.frame_tx_cost(
+            bits_aff
+        ) / WIFI_LIKE_PROFILE.frame_tx_cost(bits_static)
+        assert saving_rpc > 4 * saving_wifi
+
+
+class TestEnergyMeter:
+    def test_accumulates_tx_rx_listen(self):
+        meter = EnergyMeter(EnergyModel(tx_per_bit=1.0, rx_per_bit=1.0,
+                                        listen_per_second=2.0,
+                                        per_frame_overhead_bits=0))
+        meter.charge_tx(10)
+        meter.charge_rx(20)
+        meter.charge_listen(3.0)
+        assert meter.tx_joules == pytest.approx(10.0)
+        assert meter.rx_joules == pytest.approx(20.0)
+        assert meter.listen_joules == pytest.approx(6.0)
+        assert meter.total_joules == pytest.approx(36.0)
+        assert meter.frames_sent == 1
+        assert meter.frames_received == 1
+
+    def test_negative_listen_time_rejected(self):
+        meter = EnergyMeter(RPC_PROFILE)
+        with pytest.raises(ValueError):
+            meter.charge_listen(-1.0)

@@ -1,0 +1,225 @@
+"""Unit tests for the broadcast medium."""
+
+import random
+
+import pytest
+
+from repro.radio.channel import BernoulliChannel
+from repro.radio.frame import Frame
+from repro.radio.mac import AlohaMac
+from repro.radio.medium import BroadcastMedium
+from repro.radio.radio import Radio
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.topology.graphs import ExplicitGraph, FullMesh, Line
+
+
+def build(topology, **kwargs):
+    sim = Simulator()
+    medium = BroadcastMedium(sim, topology, **kwargs)
+    return sim, medium
+
+
+class TestDelivery:
+    def test_broadcast_reaches_all_neighbors(self):
+        sim, medium = build(FullMesh(range(4)))
+        radios = {i: Radio(medium, i) for i in range(4)}
+        received = {i: [] for i in range(4)}
+        for i, radio in radios.items():
+            radio.set_receive_handler(lambda f, i=i: received[i].append(f))
+        radios[0].send(Frame(payload=b"hello", origin=0))
+        sim.run()
+        assert received[0] == []  # no loopback
+        assert all(len(received[i]) == 1 for i in (1, 2, 3))
+
+    def test_delivery_respects_topology(self):
+        sim, medium = build(Line(3))
+        radios = {i: Radio(medium, i) for i in range(3)}
+        received = {i: [] for i in range(3)}
+        for i, radio in radios.items():
+            radio.set_receive_handler(lambda f, i=i: received[i].append(f))
+        radios[0].send(Frame(payload=b"x", origin=0))
+        sim.run()
+        assert len(received[1]) == 1
+        assert received[2] == []
+
+    def test_airtime_is_bits_over_bitrate(self):
+        sim, medium = build(FullMesh(range(2)), bitrate=1000.0)
+        frame = Frame(payload=b"\x00" * 10, origin=0)  # 80 bits
+        assert medium.airtime(frame) == pytest.approx(0.08)
+
+    def test_delivery_happens_at_end_of_frame(self):
+        sim, medium = build(FullMesh(range(2)), bitrate=1000.0)
+        Radio(medium, 0)
+        rx = Radio(medium, 1)
+        arrival = []
+        rx.set_receive_handler(lambda f: arrival.append(sim.now))
+        medium.radio_for(0).send(Frame(payload=b"\x00" * 10, origin=0))
+        sim.run()
+        assert arrival == [pytest.approx(0.08)]
+
+    def test_node_without_radio_counts_out_of_range(self):
+        sim, medium = build(FullMesh(range(3)))
+        Radio(medium, 0)
+        Radio(medium, 1)  # node 2 has no radio attached
+        medium.radio_for(0).send(Frame(payload=b"x", origin=0))
+        sim.run()
+        assert medium.stats.out_of_range == 1
+        assert medium.stats.deliveries == 1
+
+    def test_detach_stops_delivery(self):
+        sim, medium = build(FullMesh(range(2)))
+        tx = Radio(medium, 0)
+        rx = Radio(medium, 1)
+        got = []
+        rx.set_receive_handler(got.append)
+        rx.shutdown()
+        tx.send(Frame(payload=b"x", origin=0))
+        sim.run()
+        assert got == []
+
+    def test_audience_snapshot_at_transmit_time(self):
+        """A node joining mid-flight must not hear a frame already in the air."""
+        topo = FullMesh(range(2))
+        sim, medium = build(topo, bitrate=100.0)
+        tx = Radio(medium, 0)
+        Radio(medium, 1)
+        tx.send(Frame(payload=b"\x00" * 10, origin=0))  # 0.8 s airtime
+        # Node 2 joins while the frame is flying.
+        def join():
+            topo.add_node(2)
+            Radio(medium, 2)
+        sim.schedule(0.4, join)
+        sim.run()
+        assert medium.stats.deliveries == 1  # only node 1
+
+
+class TestRfCollisions:
+    def test_overlapping_frames_corrupt_each_other(self):
+        sim, medium = build(FullMesh(range(3)), bitrate=100.0, rf_collisions=True)
+        a, b = Radio(medium, 0), Radio(medium, 1)
+        rx = Radio(medium, 2)
+        got = []
+        rx.set_receive_handler(got.append)
+        a.send(Frame(payload=b"\x00" * 10, origin=0))
+        b.send(Frame(payload=b"\x00" * 10, origin=1))
+        sim.run()
+        assert got == []
+        assert medium.stats.rf_collision_drops >= 2
+
+    def test_rf_collisions_disabled_delivers_both(self):
+        sim, medium = build(FullMesh(range(3)), bitrate=100.0, rf_collisions=False)
+        a, b = Radio(medium, 0), Radio(medium, 1)
+        rx = Radio(medium, 2)
+        got = []
+        rx.set_receive_handler(got.append)
+        a.send(Frame(payload=b"\x00" * 10, origin=0))
+        b.send(Frame(payload=b"\x00" * 10, origin=1))
+        sim.run()
+        assert len(got) == 2
+
+    def test_hidden_terminal_collision(self):
+        """Senders out of each other's range still collide at a shared receiver."""
+        topo = ExplicitGraph(edges=[(0, 2), (1, 2)])  # 0 and 1 hidden
+        sim, medium = build(topo, bitrate=100.0, rf_collisions=True)
+        a, b = Radio(medium, 0), Radio(medium, 1)
+        rx = Radio(medium, 2)
+        got = []
+        rx.set_receive_handler(got.append)
+        a.send(Frame(payload=b"\x00" * 10, origin=0))
+        b.send(Frame(payload=b"\x00" * 10, origin=1))
+        sim.run()
+        assert got == []
+
+    def test_non_overlapping_frames_both_deliver(self):
+        sim, medium = build(FullMesh(range(3)), bitrate=100.0, rf_collisions=True)
+        a, b = Radio(medium, 0), Radio(medium, 1)
+        rx = Radio(medium, 2)
+        got = []
+        rx.set_receive_handler(got.append)
+        a.send(Frame(payload=b"\x00" * 10, origin=0))
+        sim.schedule(2.0, b.send, Frame(payload=b"\x00" * 10, origin=1))
+        sim.run()
+        assert len(got) == 2
+
+    def test_half_duplex_transmitter_misses_frames(self):
+        """A radio transmitting cannot simultaneously receive."""
+        sim, medium = build(FullMesh(range(2)), bitrate=100.0, rf_collisions=True)
+        a, b = Radio(medium, 0), Radio(medium, 1)
+        got_a, got_b = [], []
+        a.set_receive_handler(got_a.append)
+        b.set_receive_handler(got_b.append)
+        a.send(Frame(payload=b"\x00" * 10, origin=0))
+        b.send(Frame(payload=b"\x00" * 10, origin=1))
+        sim.run()
+        assert got_a == [] and got_b == []
+
+
+class TestChannels:
+    def test_total_loss_channel_drops_all(self):
+        sim, medium = build(
+            FullMesh(range(2)),
+            channel_factory=lambda s, r: BernoulliChannel(1.0),
+            rng=random.Random(0),
+        )
+        tx, rx = Radio(medium, 0), Radio(medium, 1)
+        got = []
+        rx.set_receive_handler(got.append)
+        tx.send(Frame(payload=b"x", origin=0))
+        sim.run()
+        assert got == []
+        assert medium.stats.channel_drops == 1
+
+    def test_channel_instances_cached_per_link(self):
+        created = []
+
+        def factory(s, r):
+            chan = BernoulliChannel(0.0)
+            created.append((s, r))
+            return chan
+
+        sim, medium = build(FullMesh(range(2)), channel_factory=factory)
+        tx, rx = Radio(medium, 0), Radio(medium, 1)
+        rx.set_receive_handler(lambda f: None)
+        tx.send(Frame(payload=b"x", origin=0))
+        sim.run()
+        tx.send(Frame(payload=b"y", origin=0))
+        sim.run()
+        assert created == [(0, 1)]
+
+
+class TestCarrierSense:
+    def test_busy_during_neighbor_transmission(self):
+        sim, medium = build(FullMesh(range(2)), bitrate=100.0)
+        tx = Radio(medium, 0)
+        Radio(medium, 1)
+        tx.send(Frame(payload=b"\x00" * 10, origin=0))  # 0.8 s
+        states = []
+        sim.schedule(0.4, lambda: states.append(medium.busy_at(1)))
+        sim.schedule(1.5, lambda: states.append(medium.busy_at(1)))
+        sim.run()
+        assert states == [True, False]
+
+    def test_not_busy_when_transmitter_out_of_range(self):
+        topo = ExplicitGraph(edges=[(0, 1)], nodes=[2])
+        sim, medium = build(topo, bitrate=100.0)
+        tx = Radio(medium, 0)
+        Radio(medium, 1)
+        Radio(medium, 2)
+        tx.send(Frame(payload=b"\x00" * 10, origin=0))
+        states = []
+        sim.schedule(0.4, lambda: states.append(medium.busy_at(2)))
+        sim.run()
+        assert states == [False]
+
+
+class TestTracing:
+    def test_tx_rx_records(self):
+        recorder = TraceRecorder()
+        sim, medium = build(FullMesh(range(2)), recorder=recorder)
+        tx, rx = Radio(medium, 0), Radio(medium, 1)
+        rx.set_receive_handler(lambda f: None)
+        tx.send(Frame(payload=b"x", origin=0))
+        sim.run()
+        assert recorder.count("frame.tx") == 1
+        assert recorder.count("frame.rx") == 1

@@ -1,0 +1,106 @@
+"""Unit tests for the radio device."""
+
+import pytest
+
+from repro.radio.frame import Frame, FrameTooLargeError
+from repro.radio.medium import BroadcastMedium
+from repro.radio.radio import Radio
+from repro.sim.engine import Simulator
+from repro.topology.graphs import FullMesh
+
+
+def setup(n=2, **radio_kwargs):
+    sim = Simulator()
+    medium = BroadcastMedium(sim, FullMesh(range(n)))
+    radios = {i: Radio(medium, i, **radio_kwargs) for i in range(n)}
+    return sim, medium, radios
+
+
+class TestSendValidation:
+    def test_oversized_frame_rejected(self):
+        sim, medium, radios = setup(max_frame_bytes=27)
+        with pytest.raises(FrameTooLargeError):
+            radios[0].send(Frame(payload=b"\x00" * 28, origin=0))
+
+    def test_exactly_max_size_accepted(self):
+        sim, medium, radios = setup(max_frame_bytes=27)
+        radios[0].send(Frame(payload=b"\x00" * 27, origin=0))
+        sim.run()
+        assert radios[0].frames_sent == 1
+
+    def test_wrong_origin_rejected(self):
+        sim, medium, radios = setup()
+        with pytest.raises(ValueError):
+            radios[0].send(Frame(payload=b"x", origin=1))
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        medium = BroadcastMedium(sim, FullMesh(range(1)))
+        Radio(medium, 0)
+        with pytest.raises(ValueError):
+            Radio(medium, 0)
+
+
+class TestReceivePaths:
+    def test_handler_and_listeners_both_called(self):
+        sim, medium, radios = setup()
+        handled, sniffed = [], []
+        radios[1].set_receive_handler(handled.append)
+        radios[1].add_listener(sniffed.append)
+        radios[0].send(Frame(payload=b"x", origin=0))
+        sim.run()
+        assert len(handled) == 1
+        assert len(sniffed) == 1
+
+    def test_listener_called_before_handler(self):
+        sim, medium, radios = setup()
+        order = []
+        radios[1].set_receive_handler(lambda f: order.append("handler"))
+        radios[1].add_listener(lambda f: order.append("listener"))
+        radios[0].send(Frame(payload=b"x", origin=0))
+        sim.run()
+        assert order == ["listener", "handler"]
+
+    def test_remove_listener(self):
+        sim, medium, radios = setup()
+        sniffed = []
+        radios[1].add_listener(sniffed.append)
+        radios[1].remove_listener(sniffed.append.__self__ if False else sniffed.append)
+        radios[0].send(Frame(payload=b"x", origin=0))
+        sim.run()
+        assert sniffed == []
+
+    def test_no_handler_is_fine(self):
+        sim, medium, radios = setup()
+        radios[0].send(Frame(payload=b"x", origin=0))
+        sim.run()
+        assert radios[1].frames_received == 1
+
+    def test_tx_listener_sees_own_transmissions(self):
+        sim, medium, radios = setup()
+        transmitted = []
+        radios[0].add_tx_listener(transmitted.append)
+        radios[0].send(Frame(payload=b"x", origin=0))
+        sim.run()
+        assert len(transmitted) == 1
+
+
+class TestEnergy:
+    def test_tx_and_rx_charged(self):
+        sim, medium, radios = setup()
+        radios[1].set_receive_handler(lambda f: None)
+        radios[0].send(Frame(payload=b"\x00" * 10, origin=0))
+        sim.run()
+        assert radios[0].energy.tx_joules > 0
+        assert radios[1].energy.rx_joules > 0
+        assert radios[0].energy.rx_joules == 0
+        assert radios[1].energy.tx_joules == 0
+
+    def test_bigger_frames_cost_more(self):
+        sim, medium, radios = setup()
+        radios[0].send(Frame(payload=b"\x00" * 5, origin=0))
+        sim.run()
+        small = radios[0].energy.tx_joules
+        radios[0].send(Frame(payload=b"\x00" * 25, origin=0))
+        sim.run()
+        assert radios[0].energy.tx_joules - small > small

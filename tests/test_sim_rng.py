@@ -1,0 +1,67 @@
+"""Unit tests for deterministic named RNG streams."""
+
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(123456, "stream")
+        assert 0 <= seed < 2**64
+
+    def test_no_collision_among_many_names(self):
+        seeds = {derive_seed(0, f"s{i}") for i in range(1000)}
+        assert len(seeds) == 1000
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_stream_object(self):
+        reg = RngRegistry(1)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_streams_reproducible_across_registries(self):
+        a = RngRegistry(7).stream("chan")
+        b = RngRegistry(7).stream("chan")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_give_different_sequences(self):
+        reg = RngRegistry(7)
+        xs = [reg.stream("x").random() for _ in range(5)]
+        ys = [reg.stream("y").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        reg1 = RngRegistry(3)
+        s = reg1.stream("main")
+        first = s.random()
+        reg2 = RngRegistry(3)
+        reg2.stream("other")  # consume nothing from "main"
+        s2 = reg2.stream("main")
+        assert s2.random() == first
+
+    def test_fork_is_deterministic(self):
+        a = RngRegistry(5).fork("trial0")
+        b = RngRegistry(5).fork("trial0")
+        assert a.root_seed == b.root_seed
+
+    def test_fork_differs_from_parent(self):
+        reg = RngRegistry(5)
+        assert reg.fork("t").root_seed != reg.root_seed
+
+    def test_forks_differ_from_each_other(self):
+        reg = RngRegistry(5)
+        assert reg.fork("t0").root_seed != reg.fork("t1").root_seed
+
+    def test_stream_names_listing(self):
+        reg = RngRegistry(0)
+        reg.stream("b")
+        reg.stream("a")
+        assert reg.stream_names == ["a", "b"]

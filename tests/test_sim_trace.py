@@ -1,0 +1,70 @@
+"""Unit tests for structured tracing."""
+
+from repro.sim.trace import NullRecorder, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_emit_and_iterate(self):
+        rec = TraceRecorder()
+        rec.emit(1.0, "frame.tx", origin=3)
+        rec.emit(2.0, "frame.rx", origin=3, receiver=4)
+        assert len(rec) == 2
+        records = list(rec)
+        assert records[0].category == "frame.tx"
+        assert records[1]["receiver"] == 4
+
+    def test_record_get_with_default(self):
+        rec = TraceRecorder()
+        rec.emit(0.0, "x", a=1)
+        assert rec.records[0].get("missing", "d") == "d"
+
+    def test_category_filtering_at_emit(self):
+        rec = TraceRecorder(categories={"keep"})
+        rec.emit(0.0, "keep")
+        rec.emit(0.0, "drop")
+        assert len(rec) == 1
+        # Counters still see everything.
+        assert rec.count("drop") == 1
+
+    def test_select_by_category(self):
+        rec = TraceRecorder()
+        rec.emit(0.0, "a")
+        rec.emit(1.0, "b")
+        rec.emit(2.0, "a")
+        assert len(rec.select(category="a")) == 2
+
+    def test_select_by_time_window(self):
+        rec = TraceRecorder()
+        for t in range(5):
+            rec.emit(float(t), "e")
+        hits = rec.select(since=1.0, until=3.0)
+        assert [r.time for r in hits] == [1.0, 2.0, 3.0]
+
+    def test_select_by_predicate(self):
+        rec = TraceRecorder()
+        rec.emit(0.0, "e", n=1)
+        rec.emit(0.0, "e", n=2)
+        assert len(rec.select(predicate=lambda r: r["n"] > 1)) == 1
+
+    def test_category_counts(self):
+        rec = TraceRecorder()
+        rec.emit(0.0, "a")
+        rec.emit(0.0, "a")
+        rec.emit(0.0, "b")
+        assert rec.category_counts() == {"a": 2, "b": 1}
+
+    def test_clear(self):
+        rec = TraceRecorder()
+        rec.emit(0.0, "a")
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.count("a") == 0
+
+
+class TestNullRecorder:
+    def test_stores_nothing_but_counts(self):
+        rec = NullRecorder()
+        for _ in range(100):
+            rec.emit(0.0, "frame.tx", bits=216)
+        assert len(rec) == 0
+        assert rec.count("frame.tx") == 100

@@ -1,0 +1,79 @@
+"""Unit tests for topology structural analysis."""
+
+import math
+
+from repro.topology.analysis import (
+    connected_components,
+    hidden_terminal_fraction,
+    hidden_terminal_pairs,
+    is_connected,
+    mean_degree,
+)
+from repro.topology.graphs import ExplicitGraph, FullMesh, Line, Star
+
+
+class TestHiddenTerminals:
+    def test_full_mesh_has_none(self):
+        assert hidden_terminal_pairs(FullMesh(range(5))) == set()
+        assert hidden_terminal_fraction(FullMesh(range(5))) == 0.0
+
+    def test_star_is_fully_hidden(self):
+        star = Star(hub=9, leaves=range(4))
+        pairs = hidden_terminal_pairs(star)
+        # every pair of the 4 leaves is hidden at the hub: C(4,2) = 6
+        assert len(pairs) == 6
+        assert all(receiver == 9 for _, _, receiver in pairs)
+        assert hidden_terminal_fraction(star) == 1.0
+
+    def test_line_of_three_is_the_canonical_triple(self):
+        line = Line(3)
+        assert hidden_terminal_pairs(line) == {(0, 2, 1)}
+
+    def test_fraction_nan_when_no_shared_receivers(self):
+        g = ExplicitGraph(edges=[(0, 1)])
+        assert math.isnan(hidden_terminal_fraction(g))
+
+    def test_partial_hiding(self):
+        # 0-1-2 plus edge 0-2 closed: triangle has no hidden pairs;
+        # adding a pendant 3 on 1 creates hidden pairs at 1.
+        g = ExplicitGraph(edges=[(0, 1), (1, 2), (0, 2), (1, 3)])
+        pairs = hidden_terminal_pairs(g)
+        assert (0, 3, 1) in pairs and (2, 3, 1) in pairs
+        frac = hidden_terminal_fraction(g)
+        assert 0.0 < frac < 1.0
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert is_connected(Line(5))
+        assert len(connected_components(Line(5))) == 1
+
+    def test_disconnected_graph(self):
+        g = ExplicitGraph(edges=[(0, 1), (2, 3)])
+        components = connected_components(g)
+        assert len(components) == 2
+        assert {frozenset(c) for c in components} == {
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+        }
+        assert not is_connected(g)
+
+    def test_isolated_nodes_are_singleton_components(self):
+        g = ExplicitGraph(edges=[(0, 1)], nodes=[5])
+        assert len(connected_components(g)) == 2
+
+    def test_empty_graph_is_trivially_connected(self):
+        assert is_connected(ExplicitGraph())
+
+
+class TestMeanDegree:
+    def test_full_mesh(self):
+        assert mean_degree(FullMesh(range(6))) == 5.0
+
+    def test_star(self):
+        star = Star(hub=4, leaves=range(4))
+        # hub degree 4, four leaves of degree 1 -> (4 + 4) / 5
+        assert mean_degree(star) == (4 + 4) / 5
+
+    def test_empty(self):
+        assert mean_degree(ExplicitGraph()) == 0.0

@@ -1,0 +1,199 @@
+"""Unit tests for churn and mobility."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.topology.dynamics import ChurnEvent, ChurnProcess, RandomWaypoint
+from repro.topology.graphs import DiskGraph, FullMesh
+
+
+class TestChurnEvent:
+    def test_valid_kinds(self):
+        ChurnEvent(0.0, "join", 1)
+        ChurnEvent(0.0, "leave", 1)
+        with pytest.raises(ValueError):
+            ChurnEvent(0.0, "explode", 1)
+
+
+class TestChurnProcess:
+    def test_joins_grow_the_network(self):
+        sim = Simulator()
+        topo = FullMesh(range(3))
+        churn = ChurnProcess(
+            sim, topo, join_rate=1.0, rng=random.Random(1)
+        )
+        churn.start()
+        sim.run(until=20.0)
+        assert len(topo) > 3
+        assert all(e.kind == "join" for e in churn.history)
+
+    def test_leaves_shrink_the_network(self):
+        sim = Simulator()
+        topo = FullMesh(range(10))
+        churn = ChurnProcess(sim, topo, leave_rate=1.0, rng=random.Random(2))
+        churn.start()
+        sim.run(until=50.0)
+        assert len(topo) < 10
+
+    def test_join_ids_are_fresh(self):
+        sim = Simulator()
+        topo = FullMesh(range(5))
+        churn = ChurnProcess(sim, topo, join_rate=2.0, rng=random.Random(3))
+        churn.start()
+        sim.run(until=10.0)
+        joined = [e.node for e in churn.history if e.kind == "join"]
+        assert all(n >= 5 for n in joined)
+        assert len(set(joined)) == len(joined)
+
+    def test_on_change_callback_fires(self):
+        sim = Simulator()
+        topo = FullMesh(range(2))
+        seen = []
+        churn = ChurnProcess(
+            sim, topo, join_rate=1.0, rng=random.Random(4), on_change=seen.append
+        )
+        churn.start()
+        sim.run(until=10.0)
+        assert len(seen) == len(churn.history) > 0
+
+    def test_stop_halts_churn(self):
+        sim = Simulator()
+        topo = FullMesh(range(2))
+        churn = ChurnProcess(sim, topo, join_rate=5.0, rng=random.Random(5))
+        churn.start()
+        sim.run(until=2.0)
+        count = len(churn.history)
+        churn.stop()
+        sim.run(until=20.0)
+        assert len(churn.history) == count
+
+    def test_disk_graph_joins_get_positions(self):
+        sim = Simulator()
+        graph = DiskGraph.random(3, 0.5, rng=random.Random(6))
+        churn = ChurnProcess(sim, graph, join_rate=1.0, rng=random.Random(7))
+        churn.start()
+        sim.run(until=10.0)
+        for event in churn.history:
+            if event.kind == "join":
+                x, y = graph.position(event.node)
+                assert 0 <= x <= 1 and 0 <= y <= 1
+
+    def test_custom_placer(self):
+        sim = Simulator()
+        graph = DiskGraph(radio_range=0.5)
+        graph.place(0, 0.5, 0.5)
+        churn = ChurnProcess(
+            sim,
+            graph,
+            join_rate=1.0,
+            rng=random.Random(8),
+            placer=lambda node: (0.25, 0.75),
+        )
+        churn.start()
+        sim.run(until=5.0)
+        joins = [e for e in churn.history if e.kind == "join"]
+        assert joins
+        assert graph.position(joins[0].node) == (0.25, 0.75)
+
+    def test_events_in_window(self):
+        sim = Simulator()
+        topo = FullMesh(range(2))
+        churn = ChurnProcess(sim, topo, join_rate=2.0, rng=random.Random(9))
+        churn.start()
+        sim.run(until=10.0)
+        window = churn.events_in(2.0, 5.0)
+        assert all(2.0 <= e.time < 5.0 for e in window)
+
+    def test_negative_rates_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ChurnProcess(sim, FullMesh(), leave_rate=-1.0)
+
+    def test_zero_rates_mean_no_churn(self):
+        sim = Simulator()
+        topo = FullMesh(range(4))
+        churn = ChurnProcess(sim, topo)
+        churn.start()
+        sim.run(until=100.0)
+        assert churn.history == []
+        assert len(topo) == 4
+
+
+class TestRandomWaypoint:
+    def _graph(self):
+        g = DiskGraph(radio_range=0.3, side=1.0)
+        for i in range(5):
+            g.place(i, 0.5, 0.5)
+        return g
+
+    def test_nodes_move(self):
+        sim = Simulator()
+        g = self._graph()
+        before = {i: g.position(i) for i in g.nodes}
+        walker = RandomWaypoint(sim, g, speed=0.2, step=0.5, rng=random.Random(1))
+        walker.start()
+        sim.run(until=5.0)
+        moved = [i for i in g.nodes if g.position(i) != before[i]]
+        assert moved
+
+    def test_positions_stay_in_bounds(self):
+        sim = Simulator()
+        g = self._graph()
+        walker = RandomWaypoint(sim, g, speed=0.5, step=0.25, rng=random.Random(2))
+        walker.start()
+        sim.run(until=20.0)
+        for i in g.nodes:
+            x, y = g.position(i)
+            assert -1e-9 <= x <= 1.0 + 1e-9
+            assert -1e-9 <= y <= 1.0 + 1e-9
+
+    def test_zero_speed_means_static(self):
+        sim = Simulator()
+        g = self._graph()
+        before = {i: g.position(i) for i in g.nodes}
+        walker = RandomWaypoint(sim, g, speed=0.0, step=1.0, rng=random.Random(3))
+        walker.start()
+        sim.run(until=10.0)
+        assert all(g.position(i) == before[i] for i in g.nodes)
+
+    def test_stop_freezes_movement(self):
+        sim = Simulator()
+        g = self._graph()
+        walker = RandomWaypoint(sim, g, speed=0.3, step=0.5, rng=random.Random(4))
+        walker.start()
+        sim.run(until=2.0)
+        walker.stop()
+        frozen = {i: g.position(i) for i in g.nodes}
+        sim.run(until=10.0)
+        assert all(g.position(i) == frozen[i] for i in g.nodes)
+
+    def test_movement_per_step_bounded_by_speed(self):
+        sim = Simulator()
+        g = self._graph()
+        speed, step = 0.2, 0.5
+        walker = RandomWaypoint(sim, g, speed=speed, step=step, rng=random.Random(5))
+        walker.start()
+        positions = {i: [g.position(i)] for i in g.nodes}
+
+        def sample():
+            for i in g.nodes:
+                positions[i].append(g.position(i))
+            sim.schedule(step, sample)
+
+        sim.schedule(step, sample)
+        sim.run(until=5.0)
+        import math
+
+        for trail in positions.values():
+            for (x0, y0), (x1, y1) in zip(trail, trail[1:]):
+                assert math.hypot(x1 - x0, y1 - y0) <= speed * step + 1e-9
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        g = self._graph()
+        with pytest.raises(ValueError):
+            RandomWaypoint(sim, g, speed=-1.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(sim, g, speed=1.0, step=0.0)

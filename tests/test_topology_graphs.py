@@ -1,0 +1,174 @@
+"""Unit tests for connectivity topologies."""
+
+import random
+
+import pytest
+
+from repro.topology.graphs import (
+    DiskGraph,
+    ExplicitGraph,
+    FullMesh,
+    Grid,
+    Line,
+    Star,
+)
+
+
+class TestFullMesh:
+    def test_everyone_hears_everyone(self):
+        mesh = FullMesh(range(4))
+        for node in range(4):
+            assert mesh.neighbors(node) == set(range(4)) - {node}
+
+    def test_unknown_node_has_no_neighbors(self):
+        assert FullMesh(range(3)).neighbors(99) == set()
+
+    def test_membership_and_len(self):
+        mesh = FullMesh([1, 2, 3])
+        assert 2 in mesh
+        assert 9 not in mesh
+        assert len(mesh) == 3
+
+    def test_remove_node(self):
+        mesh = FullMesh(range(3))
+        mesh.remove_node(1)
+        assert mesh.neighbors(0) == {2}
+
+    def test_edge_count(self):
+        mesh = FullMesh(range(5))
+        assert len(mesh.edges()) == 10  # C(5,2)
+
+
+class TestExplicitGraph:
+    def test_edges_are_symmetric(self):
+        g = ExplicitGraph(edges=[(0, 1), (1, 2)])
+        assert g.connected(0, 1) and g.connected(1, 0)
+        assert not g.connected(0, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitGraph(edges=[(1, 1)])
+
+    def test_remove_node_clears_incident_edges(self):
+        g = ExplicitGraph(edges=[(0, 1), (1, 2)])
+        g.remove_node(1)
+        assert g.neighbors(0) == set()
+        assert g.neighbors(2) == set()
+
+    def test_remove_edge(self):
+        g = ExplicitGraph(edges=[(0, 1)])
+        g.remove_edge(0, 1)
+        assert not g.connected(0, 1)
+        assert 0 in g and 1 in g
+
+    def test_isolated_nodes_allowed(self):
+        g = ExplicitGraph(nodes=[5])
+        assert 5 in g
+        assert g.degree(5) == 0
+
+
+class TestStar:
+    def test_hub_hears_all_leaves(self):
+        star = Star(hub=10, leaves=[0, 1, 2])
+        assert star.neighbors(10) == {0, 1, 2}
+
+    def test_leaves_do_not_hear_each_other(self):
+        star = Star(hub=10, leaves=[0, 1, 2])
+        for leaf in (0, 1, 2):
+            assert star.neighbors(leaf) == {10}
+
+    def test_leaves_property(self):
+        assert Star(hub=9, leaves=range(3)).leaves == {0, 1, 2}
+
+
+class TestLine:
+    def test_interior_node_has_two_neighbors(self):
+        line = Line(5)
+        assert line.neighbors(2) == {1, 3}
+
+    def test_endpoints_have_one_neighbor(self):
+        line = Line(5)
+        assert line.neighbors(0) == {1}
+        assert line.neighbors(4) == {3}
+
+    def test_single_node_line(self):
+        line = Line(1)
+        assert len(line) == 1
+        assert line.neighbors(0) == set()
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(ValueError):
+            Line(0)
+
+
+class TestGrid:
+    def test_corner_degree_two(self):
+        grid = Grid(3, 3)
+        assert grid.degree(grid.node_at(0, 0)) == 2
+
+    def test_center_degree_four(self):
+        grid = Grid(3, 3)
+        assert grid.degree(grid.node_at(1, 1)) == 4
+
+    def test_node_at_bounds(self):
+        grid = Grid(2, 2)
+        with pytest.raises(ValueError):
+            grid.node_at(2, 0)
+
+    def test_4_connectivity_not_diagonal(self):
+        grid = Grid(2, 2)
+        assert not grid.connected(grid.node_at(0, 0), grid.node_at(1, 1))
+
+
+class TestDiskGraph:
+    def test_nodes_within_range_connected(self):
+        g = DiskGraph(radio_range=0.5)
+        g.place(0, 0.0, 0.0)
+        g.place(1, 0.3, 0.0)
+        g.place(2, 0.9, 0.0)
+        assert g.connected(0, 1)
+        assert not g.connected(0, 2)
+        assert not g.connected(1, 2)  # 0.6 apart, beyond the 0.5 range
+
+    def test_range_boundary_inclusive(self):
+        g = DiskGraph(radio_range=1.0)
+        g.place(0, 0.0, 0.0)
+        g.place(1, 1.0, 0.0)
+        assert g.connected(0, 1)
+
+    def test_distance(self):
+        g = DiskGraph(radio_range=1.0)
+        g.place(0, 0.0, 0.0)
+        g.place(1, 3.0, 4.0)
+        assert g.distance(0, 1) == pytest.approx(5.0)
+
+    def test_moving_a_node_changes_connectivity(self):
+        g = DiskGraph(radio_range=0.5)
+        g.place(0, 0.0, 0.0)
+        g.place(1, 0.4, 0.0)
+        assert g.connected(0, 1)
+        g.place(1, 2.0, 0.0)
+        assert not g.connected(0, 1)
+
+    def test_random_generation_is_seeded(self):
+        a = DiskGraph.random(20, 0.3, rng=random.Random(5))
+        b = DiskGraph.random(20, 0.3, rng=random.Random(5))
+        assert all(a.position(i) == b.position(i) for i in range(20))
+
+    def test_remove_node_clears_position(self):
+        g = DiskGraph(radio_range=1.0)
+        g.place(0, 0.5, 0.5)
+        g.remove_node(0)
+        assert 0 not in g
+        assert g.neighbors(0) == set()
+
+    def test_density_scales_with_range(self):
+        rng = random.Random(1)
+        sparse = DiskGraph.random(50, 0.1, rng=rng)
+        rng = random.Random(1)
+        dense = DiskGraph.random(50, 0.4, rng=rng)
+        assert dense.neighborhood_density() > sparse.neighborhood_density()
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            DiskGraph(radio_range=0.0)

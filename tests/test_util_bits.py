@@ -1,0 +1,119 @@
+"""Unit and property tests for MSB-first bit packing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import BitReader, BitWriter, BitstreamError
+
+
+class TestBitWriter:
+    def test_single_byte(self):
+        w = BitWriter()
+        w.write(0xAB, 8)
+        assert w.getvalue() == b"\xab"
+
+    def test_msb_first_packing(self):
+        w = BitWriter()
+        w.write(0b1, 1)
+        w.write(0b0000000, 7)
+        assert w.getvalue() == b"\x80"
+
+    def test_cross_byte_value(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0b111111111, 9)  # 3+9 = 12 bits
+        # 1011 1111 1111 0000
+        assert w.getvalue() == bytes([0b10111111, 0b11110000])
+
+    def test_final_partial_byte_zero_padded(self):
+        w = BitWriter()
+        w.write(0b11, 2)
+        assert w.getvalue() == bytes([0b11000000])
+
+    def test_bits_written_counter(self):
+        w = BitWriter()
+        w.write(5, 3)
+        w.write_bytes(b"ab")
+        assert w.bits_written == 19
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write(4, 2)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write(-1, 8)
+
+    def test_zero_bits_writes_nothing(self):
+        w = BitWriter()
+        w.write(0, 0)
+        assert w.getvalue() == b""
+
+    def test_chaining(self):
+        out = BitWriter().write(1, 1).write(0, 1).write(3, 2).getvalue()
+        assert out == bytes([0b10110000])
+
+
+class TestBitReader:
+    def test_read_back_single_values(self):
+        data = BitWriter().write(0b101, 3).write(0x1234, 16).getvalue()
+        r = BitReader(data)
+        assert r.read(3) == 0b101
+        assert r.read(16) == 0x1234
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\xff\xff")
+        assert r.bits_remaining == 16
+        r.read(5)
+        assert r.bits_remaining == 11
+
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\xff")
+        r.read(8)
+        with pytest.raises(BitstreamError):
+            r.read(1)
+
+    def test_read_bytes(self):
+        data = BitWriter().write(0b1, 1).write_bytes(b"hi").getvalue()
+        r = BitReader(data)
+        assert r.read(1) == 1
+        assert r.read_bytes(2) == b"hi"
+
+    def test_read_zero_bits(self):
+        r = BitReader(b"\x00")
+        assert r.read(0) == 0
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=48), st.randoms()),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_arbitrary_field_sequences_round_trip(self, specs):
+        fields = []
+        w = BitWriter()
+        for bits, rnd in specs:
+            value = rnd.randrange(1 << bits)
+            fields.append((value, bits))
+            w.write(value, bits)
+        r = BitReader(w.getvalue())
+        for value, bits in fields:
+            assert r.read(bits) == value
+
+    @given(st.binary(min_size=0, max_size=100), st.integers(min_value=0, max_value=15))
+    def test_bytes_round_trip_at_any_bit_offset(self, payload, offset_bits):
+        w = BitWriter()
+        w.write(0, offset_bits)
+        w.write_bytes(payload)
+        r = BitReader(w.getvalue())
+        r.read(offset_bits)
+        assert r.read_bytes(len(payload)) == payload
+
+    @given(st.integers(min_value=0, max_value=2**62 - 1))
+    def test_wide_values_round_trip(self, value):
+        w = BitWriter().write(value, 62)
+        assert BitReader(w.getvalue()).read(62) == value
