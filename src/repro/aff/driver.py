@@ -29,6 +29,7 @@ from ..net.checksum import ChecksumFn, fletcher16
 from ..net.packets import BitBudget, Packet
 from ..radio.frame import Frame
 from ..radio.radio import Radio
+from ..sim.rng import fallback_stream
 from .fragmenter import Fragmenter
 from .reassembler import Reassembler
 from .wire import (
@@ -112,7 +113,11 @@ class AffDriver:
         self.listening = listening
         self.notify_collisions = notify_collisions
         self.listen_duty_cycle = listen_duty_cycle
-        self._listen_rng = listen_rng
+        self._listen_rng = (
+            listen_rng
+            if listen_rng is not None
+            else fallback_stream("aff.AffDriver.listen")
+        )
         self.codec = FragmentCodec(selector.space.bits)
         self.fragmenter = Fragmenter(
             self.codec, mtu_bytes=radio.max_frame_bytes, checksum=checksum
@@ -247,10 +252,7 @@ class AffDriver:
             return
         if self.listening and isinstance(fragment, IntroFragment):
             if self.listen_duty_cycle < 1.0:
-                import random as _random
-
-                rng = self._listen_rng or _random
-                if rng.random() >= self.listen_duty_cycle:
+                if self._listen_rng.random() >= self.listen_duty_cycle:
                     self.reassembler.accept(fragment, now=self.sim.now)
                     return
             self.selector.observe(fragment.identifier)

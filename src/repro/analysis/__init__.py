@@ -1,0 +1,53 @@
+"""Protocol-aware static analysis for the RETRI reproduction.
+
+The reproduction's headline numbers are only trustworthy if two
+contracts hold everywhere in the tree:
+
+* **determinism** — every stochastic component draws from a seeded
+  stream (:mod:`repro.sim.rng`), never from an ambient, unseeded RNG or
+  the wall clock, and never iterates data structures with unstable
+  order;
+* **wire-format invariants** — every bit-packed field is written with a
+  named width constant, values cannot exceed their declared field
+  width, and no frame layout can outgrow the 27-byte RPC frame budget.
+
+This package is an AST-based lint framework (visitor core + rule
+registry + per-rule suppression + a committed baseline file) that
+mechanically enforces those contracts.  Run it as::
+
+    python -m repro.lint [paths...]
+
+See ``docs/static-analysis.md`` for the rule catalogue and the
+suppression / baseline workflow.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Baseline,
+    Finding,
+    Linter,
+    LintReport,
+    ModuleContext,
+    Rule,
+    all_rules,
+    register,
+    registry,
+)
+
+# Importing the rule-pack modules registers their rules.
+from . import determinism as determinism
+from . import rngstreams as rngstreams
+from . import wire_rules as wire_rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "Linter",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "register",
+    "registry",
+]

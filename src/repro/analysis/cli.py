@@ -1,0 +1,165 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes
+----------
+0   no findings (after suppressions and baseline)
+1   findings (or unparsable files)
+2   bad invocation (unknown rule id, unreadable baseline, no files)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .core import Baseline, Linter, Rule, all_rules, registry
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Protocol-aware static analysis for the RETRI reproduction: "
+            "determinism, wire-format, and RNG-stream hygiene rules."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} if it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _parse_rule_ids(spec: str, known: Sequence[str]) -> List[str]:
+    ids = [part.strip().upper() for part in spec.split(",") if part.strip()]
+    unknown = [rule_id for rule_id in ids if rule_id not in known]
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+    return ids
+
+
+def _select_rules(
+    select: Optional[str], ignore: Optional[str]
+) -> List[Rule]:
+    known = sorted(registry())
+    rules = all_rules()
+    if select:
+        wanted = set(_parse_rule_ids(select, known))
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    if ignore:
+        dropped = set(_parse_rule_ids(ignore, known))
+        rules = [rule for rule in rules if rule.rule_id not in dropped]
+    return rules
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.description}")
+        return 0
+
+    try:
+        rules = _select_rules(args.select, args.ignore)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline: Optional[Baseline] = None
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    linter = Linter(rules=rules, baseline=baseline)
+    report = linter.lint_paths(paths)
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).dump(baseline_path)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        payload = {
+            "files_checked": report.files_checked,
+            "findings": [finding.to_json() for finding in report.findings],
+            "errors": [
+                {"path": path, "message": message}
+                for path, message in report.errors
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        for path, message in report.errors:
+            print(f"{path}: parse error: {message}", file=sys.stderr)
+        summary = (
+            f"{report.files_checked} file(s) checked, "
+            f"{len(report.findings)} finding(s), {len(report.errors)} error(s)"
+        )
+        print(summary, file=sys.stderr)
+
+    return 0 if report.ok else 1

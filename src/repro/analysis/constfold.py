@@ -1,0 +1,104 @@
+"""Tiny constant folder for module-level integer constants.
+
+The wire-format rules cross-check ``BitWriter.write`` widths against
+declared maxima like ``MAX_PACKET_BYTES = (1 << _LENGTH_BITS) - 1``.
+That only needs integer arithmetic over module-level ``NAME = <expr>``
+assignments — no control flow, no calls — so this folder handles
+exactly that and returns ``None`` for anything else.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Mapping, Optional
+
+__all__ = ["collect_module_constants", "fold_int"]
+
+_MAX_SHIFT = 1 << 16  # refuse absurd shifts; this is a linter, not a VM
+
+
+def fold_int(node: ast.AST, env: Mapping[str, int]) -> Optional[int]:
+    """Evaluate ``node`` to an ``int`` if it is a constant expression.
+
+    Supports integer literals, names bound in ``env``, unary ``+ - ~``,
+    and the binary operators ``+ - * // % << >> | & ^ **``.  Returns
+    ``None`` (never raises) when the expression is not statically an
+    integer.
+    """
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(node.value, int):
+            return None
+        return node.value
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.UnaryOp):
+        operand = fold_int(node.operand, env)
+        if operand is None:
+            return None
+        if isinstance(node.op, ast.USub):
+            return -operand
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        if isinstance(node.op, ast.Invert):
+            return ~operand
+        return None
+    if isinstance(node, ast.BinOp):
+        left = fold_int(node.left, env)
+        right = fold_int(node.right, env)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.FloorDiv):
+                return left // right
+            if isinstance(node.op, ast.Mod):
+                return left % right
+            if isinstance(node.op, ast.LShift):
+                if right > _MAX_SHIFT or right < 0:
+                    return None
+                return left << right
+            if isinstance(node.op, ast.RShift):
+                if right < 0:
+                    return None
+                return left >> right
+            if isinstance(node.op, ast.BitOr):
+                return left | right
+            if isinstance(node.op, ast.BitAnd):
+                return left & right
+            if isinstance(node.op, ast.BitXor):
+                return left ^ right
+            if isinstance(node.op, ast.Pow):
+                if right > 64 or right < 0:
+                    return None
+                return int(left**right)
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None
+    return None
+
+
+def collect_module_constants(tree: ast.Module) -> Dict[str, int]:
+    """Fold every top-level ``NAME = <const int expr>`` in order.
+
+    Later definitions see earlier ones, matching Python's execution
+    order, so chains like ``_LENGTH_BITS = 16`` followed by
+    ``MAX_PACKET_BYTES = (1 << _LENGTH_BITS) - 1`` fold fully.
+    """
+    env: Dict[str, int] = {}
+    for stmt in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        folded = fold_int(value, env)
+        if folded is not None:
+            env[target.id] = folded
+    return env

@@ -1,0 +1,300 @@
+"""Lint framework core: findings, rules, suppression, baseline, linter.
+
+The design mirrors flake8/ruff at one-tenth scale:
+
+* a :class:`Rule` inspects one parsed module (:class:`ModuleContext`)
+  and yields :class:`Finding`\\ s;
+* rules self-register in a process-wide :func:`registry` via the
+  :func:`register` decorator;
+* a finding on a line carrying ``# lint: ignore`` (all rules) or
+  ``# lint: ignore[RULE1,RULE2]`` (listed rules) is suppressed at the
+  source;
+* a :class:`Baseline` file grandfathers known findings by fingerprint
+  so the gate can be adopted on a dirty tree and ratcheted down.
+
+Fingerprints are ``rule_id:path:sha1(normalised source line)`` — stable
+under unrelated edits that merely shift line numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from .constfold import collect_module_constants
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "Linter",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "register",
+    "registry",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+#: Directory names never descended into when expanding lint paths.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".mypy_cache", ".pytest_cache", "build", "dist"}
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline."""
+        digest = hashlib.sha1(self.snippet.strip().encode("utf-8")).hexdigest()[:16]
+        return f"{self.rule_id}:{self.path}:{digest}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+class ModuleContext:
+    """Everything a rule may want to know about one module."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module, display_path: str):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: Path as reported in findings (relative to CWD when possible).
+        self.display_path = display_path
+        self.lines: List[str] = source.splitlines()
+        #: Constant-folded module-level integer constants (``NAME = 16``,
+        #: ``MAX = (1 << BITS) - 1``, ...), for width cross-checking.
+        self.constants: Dict[str, int] = collect_module_constants(tree)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def in_packages(self, names: Iterable[str]) -> bool:
+        """Whether any path component matches ``names``.
+
+        Used to scope rules to simulation code (``sim``, ``core``,
+        ``radio``, ...).  Purely path-based by design: fixture trees in
+        tests opt in by directory naming.
+        """
+        wanted = set(names)
+        return any(part in wanted for part in self.path.parts)
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=rule.rule_id,
+            path=self.display_path,
+            line=int(lineno),
+            col=int(col),
+            message=message,
+            snippet=self.source_line(int(lineno)),
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` (stable, e.g. ``DET001``) and
+    ``description`` and implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.rule_id}>"
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add ``cls`` to the global rule registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY and _REGISTRY[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def registry() -> Dict[str, Type[Rule]]:
+    """A copy of the rule registry (id -> rule class)."""
+    return dict(_REGISTRY)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+class Baseline:
+    """Grandfathered findings, keyed by fingerprint with counts.
+
+    The committed file lets the CI gate go green on a tree with known,
+    triaged debt: each entry tolerates up to ``count`` findings with
+    that fingerprint.  Fixing a finding and regenerating the baseline
+    ratchets the debt down; *new* findings are never masked.
+    """
+
+    VERSION = 1
+
+    def __init__(self, entries: Optional[Dict[str, int]] = None):
+        self.entries: Dict[str, int] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != cls.VERSION:
+            raise ValueError(f"{path}: not a version-{cls.VERSION} lint baseline")
+        raw = data.get("entries", {})
+        if not isinstance(raw, dict):
+            raise ValueError(f"{path}: malformed baseline entries")
+        entries: Dict[str, int] = {}
+        for key, count in raw.items():
+            entries[str(key)] = int(count)
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: Dict[str, int] = {}
+        for finding in findings:
+            fp = finding.fingerprint()
+            entries[fp] = entries.get(fp, 0) + 1
+        return cls(entries)
+
+    def dump(self, path: Path) -> None:
+        payload = {
+            "version": self.VERSION,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def filter(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Findings not covered by the baseline, preserving order."""
+        remaining = dict(self.entries)
+        kept: List[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+            else:
+                kept.append(finding)
+        return kept
+
+
+def _suppressed_rules(line: str) -> Optional[frozenset[str]]:
+    """Rule ids suppressed by ``line``'s trailing comment.
+
+    Returns ``None`` for no suppression, an empty set for a blanket
+    ``# lint: ignore``, or the listed rule ids.
+    """
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return None
+    listed = match.group("rules")
+    if listed is None:
+        return frozenset()
+    return frozenset(part.strip() for part in listed.split(",") if part.strip())
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: ``(path, message)`` for files that could not be parsed.
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+class Linter:
+    """Runs a set of rules over files and directories."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        baseline: Optional[Baseline] = None,
+    ):
+        self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
+        self.baseline = baseline
+
+    # ------------------------------------------------------------------
+    def lint_paths(self, paths: Sequence[Path]) -> LintReport:
+        report = LintReport()
+        for path in self._expand(paths):
+            report.files_checked += 1
+            self._lint_file(path, report)
+        if self.baseline is not None:
+            report.findings = self.baseline.filter(report.findings)
+        return report
+
+    def _expand(self, paths: Sequence[Path]) -> Iterator[Path]:
+        for path in paths:
+            if path.is_dir():
+                for candidate in sorted(path.rglob("*.py")):
+                    if not _SKIP_DIRS.intersection(candidate.parts):
+                        yield candidate
+            elif path.suffix == ".py":
+                yield path
+
+    def _display_path(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _lint_file(self, path: Path, report: LintReport) -> None:
+        display = self._display_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.errors.append((display, str(exc)))
+            return
+        ctx = ModuleContext(path=path, source=source, tree=tree, display_path=display)
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                suppressed = _suppressed_rules(ctx.source_line(finding.line))
+                if suppressed is not None and (
+                    not suppressed or finding.rule_id in suppressed
+                ):
+                    continue
+                report.findings.append(finding)

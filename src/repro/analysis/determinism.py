@@ -1,0 +1,286 @@
+"""Rule pack 1 — determinism.
+
+The simulator's reproducibility contract (:mod:`repro.sim.rng`): every
+stochastic draw comes from a named, seeded stream.  These rules catch
+the ways that contract silently erodes:
+
+========  ==========================================================
+DET001    unseeded ``random.Random()`` (e.g. as an ``rng or ...``
+          default) — different results every process
+DET002    calls on the *module-level* shared RNG (``random.random()``,
+          ``random.choice(...)``, ...) — cross-component coupling and
+          unseeded by default
+DET003    ``import random`` inside a function body — the signature of
+          an ad-hoc, unregistered draw path
+DET004    wall-clock reads (``time.time()``, ``datetime.now()``, ...)
+          in simulation code, which must only consume ``sim.now``
+DET005    iteration over bare ``set`` expressions in simulation code —
+          order varies with hash seeding and insertion history
+========  ==========================================================
+
+DET004/DET005 are scoped by path: DET004 to the simulation-facing
+packages (``sim``, ``core``, ``radio``, ``aff``, ``apps``,
+``topology``), DET005 to the kernel packages (``sim``, ``core``,
+``radio``) where event order feeds directly into results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .core import Finding, ModuleContext, Rule, register
+
+__all__ = [
+    "InlineRandomImportRule",
+    "ModuleRandomCallRule",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]
+
+#: Packages whose code runs inside (or feeds) the discrete-event world.
+SIM_PACKAGES = frozenset({"sim", "core", "radio", "aff", "apps", "topology"})
+#: Kernel packages where iteration order feeds directly into event order.
+ORDER_SENSITIVE_PACKAGES = frozenset({"sim", "core", "radio"})
+
+#: ``random`` module functions that consume the hidden global state.
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+def _module_aliases(tree: ast.Module, module: str) -> Set[str]:
+    """Names (anywhere in the file) bound to ``module`` by ``import``."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or module)
+    return aliases
+
+
+def _from_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Local name -> original name for ``from <module> import ...``."""
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names[alias.asname or alias.name] = alias.name
+    return names
+
+
+@register
+class UnseededRandomRule(Rule):
+    rule_id = "DET001"
+    description = (
+        "unseeded random.Random(): pass an explicit seed or a "
+        "repro.sim.rng stream (e.g. fallback_stream)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _module_aliases(ctx.tree, "random")
+        imported = _from_imports(ctx.tree, "random")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            func = node.func
+            is_random_cls = (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("Random", "SystemRandom")
+                and isinstance(func.value, ast.Name)
+                and func.value.id in aliases
+            ) or (
+                isinstance(func, ast.Name)
+                and imported.get(func.id) in ("Random", "SystemRandom")
+            )
+            if is_random_cls:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "unseeded RNG constructed; derive it from a seeded "
+                    "stream (see repro.sim.rng.fallback_stream)",
+                )
+
+
+@register
+class ModuleRandomCallRule(Rule):
+    rule_id = "DET002"
+    description = (
+        "call on the module-level shared RNG (random.random(), "
+        "random.choice(), ...): draw from an injected stream instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _module_aliases(ctx.tree, "random")
+        imported = _from_imports(ctx.tree, "random")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            hit = None
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _GLOBAL_RANDOM_FUNCS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in aliases
+            ):
+                hit = f"random.{func.attr}"
+            elif (
+                isinstance(func, ast.Name)
+                and imported.get(func.id) in _GLOBAL_RANDOM_FUNCS
+            ):
+                hit = f"random.{imported[func.id]}"
+            if hit is not None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{hit}() draws from the hidden module-level RNG; "
+                    "route the draw through an injected random.Random",
+                )
+
+
+@register
+class InlineRandomImportRule(Rule):
+    rule_id = "DET003"
+    description = "import of the random module inside a function body"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for outer in ast.walk(ctx.tree):
+            if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(outer):
+                is_inline_import = (
+                    isinstance(node, ast.Import)
+                    and any(alias.name == "random" for alias in node.names)
+                ) or (isinstance(node, ast.ImportFrom) and node.module == "random")
+                if is_inline_import:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "inline 'import random' hides a draw path from the "
+                        "seeded-stream audit; hoist it to module scope and "
+                        "inject an rng",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "DET004"
+    description = (
+        "wall-clock read (time.time(), datetime.now(), ...) in "
+        "simulation code, which must only consume sim.now"
+    )
+
+    _TIME_FUNCS = frozenset({"time", "time_ns", "monotonic", "perf_counter"})
+    _DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_packages(SIM_PACKAGES):
+            return
+        time_aliases = _module_aliases(ctx.tree, "time")
+        time_imported = _from_imports(ctx.tree, "time")
+        dt_module_aliases = _module_aliases(ctx.tree, "datetime")
+        dt_class_names = {
+            local
+            for local, orig in _from_imports(ctx.tree, "datetime").items()
+            if orig in ("datetime", "date")
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._TIME_FUNCS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in time_aliases
+            ):
+                yield ctx.finding(
+                    self, node, f"time.{func.attr}() read in simulation code"
+                )
+                continue
+            if (
+                isinstance(func, ast.Name)
+                and time_imported.get(func.id) in self._TIME_FUNCS
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"time.{time_imported[func.id]}() read in simulation code",
+                )
+                continue
+            if isinstance(func, ast.Attribute) and func.attr in self._DATETIME_METHODS:
+                root = func.value
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name) and (
+                    root.id in dt_module_aliases or root.id in dt_class_names
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"datetime .{func.attr}() read in simulation code",
+                    )
+
+
+@register
+class SetIterationRule(Rule):
+    rule_id = "DET005"
+    description = (
+        "iteration over a bare set in order-sensitive simulation code; "
+        "wrap in sorted(...) to pin the order"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_packages(ORDER_SENSITIVE_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            iters: List[Tuple[ast.AST, ast.expr]] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append((node, node.iter))
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend((gen.iter, gen.iter) for gen in node.generators)
+            for report_node, iter_expr in iters:
+                if self._is_bare_set(iter_expr):
+                    yield ctx.finding(
+                        self,
+                        report_node,
+                        "iterating a set yields hash-order, which varies "
+                        "across runs; iterate sorted(...) instead",
+                    )
+
+    @staticmethod
+    def _is_bare_set(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset")
+        )

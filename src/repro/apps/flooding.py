@@ -46,6 +46,7 @@ from ..net.packets import BitBudget
 from ..radio.frame import Frame
 from ..radio.radio import Radio
 from ..sim.engine import Simulator
+from ..sim.rng import fallback_stream
 from ..util.bits import BitReader, BitWriter, BitstreamError
 
 __all__ = ["FloodNode", "FloodStats", "FloodCodec"]
@@ -159,7 +160,7 @@ class FloodNode:
         self._seq = 0
         self.deliver = deliver
         self.budget = budget if budget is not None else BitBudget()
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else fallback_stream("apps.FloodNode")
         self.stats = FloodStats()
         self._seen: Dict[int, float] = {}  # identifier -> expiry time
         radio.set_receive_handler(self._on_frame)

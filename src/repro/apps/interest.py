@@ -39,6 +39,7 @@ from ..net.packets import BitBudget
 from ..radio.frame import Frame
 from ..radio.radio import Radio
 from ..sim.engine import Simulator
+from ..sim.rng import fallback_stream
 from ..util.bits import BitReader, BitWriter, BitstreamError
 
 __all__ = ["InterestSource", "InterestSink", "InterestStats"]
@@ -148,7 +149,7 @@ class InterestSource:
         self.interval = base_interval
         self.static_identifier = static_identifier
         self.budget = budget if budget is not None else BitBudget()
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else fallback_stream("apps.InterestSource")
         self.stats = InterestStats()
         self._current_id: Optional[int] = None
         self._epoch_started = 0.0

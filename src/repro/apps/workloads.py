@@ -24,6 +24,7 @@ from typing import Callable, Optional
 from ..net.packets import Packet
 from ..sim.engine import Simulator
 from ..sim.process import Process, Timeout, spawn
+from ..sim.rng import fallback_stream
 
 __all__ = [
     "BurstySender",
@@ -61,7 +62,7 @@ class _SenderBase:
         self.node_id = node_id
         self.packet_bytes = packet_bytes
         self.duration = duration
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else fallback_stream("apps.workloads.sender")
         self.payload_factory = payload_factory or random_payload
         self.packets_offered = 0
         self.process: Optional[Process] = None

@@ -27,6 +27,8 @@ import random
 from collections import deque
 from typing import Deque, Dict, Optional, Set
 
+from ..sim.rng import fallback_stream
+
 __all__ = [
     "IdentifierSpace",
     "IdentifierSelector",
@@ -95,7 +97,7 @@ class IdentifierSelector:
 
     def __init__(self, space: IdentifierSpace, rng: Optional[random.Random] = None):
         self.space = space
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else fallback_stream("core.IdentifierSelector")
         self.selections = 0
 
     def select(self) -> int:

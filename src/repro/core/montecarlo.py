@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..sim.rng import fallback_stream
 from .identifiers import IdentifierSpace
 from .transactions import TransactionLog
 
@@ -67,7 +68,7 @@ def simulate_collision_rate(
         raise ValueError("arrival_rate must be positive")
     if horizon <= 0:
         raise ValueError("horizon must be positive")
-    rng = rng or random.Random()
+    rng = rng if rng is not None else fallback_stream("core.montecarlo")
     space = IdentifierSpace(id_bits)
     log = TransactionLog()
 

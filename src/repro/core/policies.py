@@ -27,6 +27,7 @@ import math
 import random
 from typing import Dict, Iterable, Optional, Set
 
+from ..sim.rng import fallback_stream
 from .identifiers import IdentifierSelector, IdentifierSpace, UniformSelector
 
 __all__ = [
@@ -83,7 +84,7 @@ class RetriPolicy(AllocationPolicy):
     ):
         self.space = IdentifierSpace(id_bits)
         self.header_bits = id_bits
-        self._rng = rng or random.Random()
+        self._rng = rng if rng is not None else fallback_stream("core.RetriPolicy")
         self._factory = selector_factory
         self._selectors: Dict[int, IdentifierSelector] = {}
 
@@ -119,7 +120,7 @@ class StaticGlobalPolicy(AllocationPolicy):
         self._space_size = 1 << addr_bits
         self._assigned: Dict[int, int] = {}
         self._used: Set[int] = set()
-        self._rng = rng or random.Random()
+        self._rng = rng if rng is not None else fallback_stream("core.StaticGlobalPolicy")
 
     @property
     def collision_free(self) -> bool:
@@ -296,7 +297,7 @@ class DynamicLocalPolicy(AllocationPolicy):
         self.claim_overhead_bits = claim_overhead_bits
         self.max_attempts = max_attempts
         self._space_size = 1 << addr_bits
-        self._rng = rng or random.Random()
+        self._rng = rng if rng is not None else fallback_stream("core.DynamicLocalPolicy")
         self._assigned: Dict[int, int] = {}
         self._control_bits = 0
         self.claims_sent = 0

@@ -1,0 +1,12 @@
+"""``python -m repro.lint`` — protocol-aware static analysis.
+
+Thin entry point over :mod:`repro.analysis`; see
+``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from .analysis.cli import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

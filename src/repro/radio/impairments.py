@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..sim.engine import Simulator
+from ..sim.rng import fallback_stream
 from .frame import Frame
 from .radio import Radio
 
@@ -71,7 +72,7 @@ class ReceiveImpairments:
         self.reorder_prob = reorder_prob
         self.duplicate_delay = duplicate_delay
         self.reorder_delay = reorder_delay
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else fallback_stream("radio.ReceiveImpairments")
         self.stats = ImpairmentStats()
         self._inner = radio._handler
         if self._inner is None:

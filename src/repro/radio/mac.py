@@ -20,6 +20,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from ..sim.engine import Simulator
+from ..sim.rng import fallback_stream
 from .frame import Frame
 
 __all__ = ["AlohaMac", "CsmaMac", "Mac", "SlottedMac"]
@@ -133,7 +134,7 @@ class CsmaMac(Mac):
             raise ValueError("max_attempts must be >= 1")
         self.backoff_max = backoff_max
         self.max_attempts = max_attempts
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else fallback_stream("radio.CsmaMac")
         self.backoffs_taken = 0
         self._attempts = 0
 

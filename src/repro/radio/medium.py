@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim.engine import Simulator
+from ..sim.rng import fallback_stream
 from ..sim.trace import NullRecorder, TraceRecorder
 from ..topology.graphs import Topology
 from .channel import Channel, PerfectChannel
@@ -105,7 +106,7 @@ class BroadcastMedium:
         self._channels: Dict[Tuple[int, int], Channel] = {}
         self._default_channel = PerfectChannel()
         self.recorder = recorder if recorder is not None else NullRecorder()
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else fallback_stream("radio.BroadcastMedium")
         self._radios: Dict[int, "object"] = {}
         self._active: List[Transmission] = []
         # Finished transmissions kept until nothing in flight could have

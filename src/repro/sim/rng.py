@@ -17,7 +17,7 @@ import hashlib
 import random
 from typing import Dict
 
-__all__ = ["RngRegistry", "derive_seed"]
+__all__ = ["RngRegistry", "derive_seed", "fallback_stream"]
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -29,6 +29,38 @@ def derive_seed(root_seed: int, name: str) -> int:
     material = f"{root_seed}:{name}".encode("utf-8")
     digest = hashlib.sha256(material).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+#: Registry backing :func:`fallback_stream`.  A fixed root seed: defaults
+#: must be *deterministic*, not configurable — components that need a
+#: particular seed accept an ``rng`` argument.
+_FALLBACK_REGISTRY_ROOT_SEED = 0x5EED
+_fallback_counts: Dict[str, int] = {}
+
+
+def fallback_stream(component: str) -> random.Random:
+    """A deterministic default stream for ``component``.
+
+    Components that accept an optional ``rng`` argument must not fall
+    back to an *unseeded* ``random.Random()`` — that silently makes
+    recorded experiments unreproducible.  They call
+    ``fallback_stream("pkg.Component")`` instead: the n-th call for a
+    given component name returns the stream
+    ``fallback.<component>.<n>`` of a registry with a fixed root seed,
+    so
+
+    * every instance gets its own statistically independent stream, and
+    * a given program re-run produces the identical sequence of streams.
+
+    Callers that need cross-run stability under *reordered* construction
+    should pass an explicit ``rng`` (e.g. from a seeded
+    :class:`RngRegistry`); the fallback only guarantees determinism for
+    a fixed program.
+    """
+    index = _fallback_counts.get(component, 0)
+    _fallback_counts[component] = index + 1
+    seed = derive_seed(_FALLBACK_REGISTRY_ROOT_SEED, f"fallback.{component}.{index}")
+    return random.Random(seed)
 
 
 class RngRegistry:

@@ -15,6 +15,7 @@ import random
 from typing import Callable, List, Optional
 
 from ..sim.engine import Simulator
+from ..sim.rng import fallback_stream
 from .graphs import DiskGraph, Topology
 
 __all__ = ["ChurnEvent", "ChurnProcess", "RandomWaypoint"]
@@ -74,7 +75,7 @@ class ChurnProcess:
         self.topology = topology
         self.leave_rate = leave_rate
         self.join_rate = join_rate
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else fallback_stream("topology.ChurnProcess")
         self.on_change = on_change
         self.placer = placer
         self.history: List[ChurnEvent] = []
@@ -165,7 +166,7 @@ class RandomWaypoint:
         self.graph = graph
         self.speed = speed
         self.step = step
-        self.rng = rng or random.Random()
+        self.rng = rng if rng is not None else fallback_stream("topology.RandomWaypoint")
         self._waypoints: dict[int, tuple] = {}
         self._stopped = False
 

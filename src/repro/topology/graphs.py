@@ -26,6 +26,8 @@ import math
 import random
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
+from ..sim.rng import fallback_stream
+
 __all__ = [
     "DiskGraph",
     "ExplicitGraph",
@@ -213,7 +215,7 @@ class DiskGraph(Topology):
         rng: Optional[random.Random] = None,
     ) -> "DiskGraph":
         """Scatter ``n`` nodes (ids 0..n-1) uniformly in a ``side``² square."""
-        rng = rng or random.Random()
+        rng = rng if rng is not None else fallback_stream("topology.DiskGraph.random")
         graph = cls(radio_range=radio_range, side=side)
         for node in range(n):
             graph.place(node, rng.uniform(0, side), rng.uniform(0, side))
