@@ -17,7 +17,7 @@ from conftest import DURATION, TRIALS
 from repro.experiments.figures import FIG4_DEFAULT_ID_BITS, figure_4
 
 
-def test_figure_4(benchmark, publish_figure):
+def test_figure_4(benchmark, publish_figure, trial_runner):
     fig = benchmark.pedantic(
         figure_4,
         kwargs=dict(
@@ -25,11 +25,24 @@ def test_figure_4(benchmark, publish_figure):
             trials=TRIALS,
             duration=DURATION,
             seed=0,
+            runner=trial_runner,
         ),
         rounds=1,
         iterations=1,
     )
-    publish_figure("figure_4", fig)
+    rand_series = fig.series_by_label("measured random")
+    listen_series = fig.series_by_label("measured listening")
+    publish_figure(
+        "figure_4",
+        fig,
+        metrics={
+            "execution": trial_runner.telemetry.summary(),
+            "id_bits": list(fig.series_by_label("model T=5").x),
+            "model": list(fig.series_by_label("model T=5").y),
+            "measured_random": list(rand_series.y),
+            "measured_listening": list(listen_series.y),
+        },
+    )
 
     model = fig.series_by_label("model T=5")
     rand = fig.series_by_label("measured random")

@@ -16,12 +16,17 @@ DET004    wall-clock reads (``time.time()``, ``datetime.now()``, ...)
           in simulation code, which must only consume ``sim.now``
 DET005    iteration over bare ``set`` expressions in simulation code —
           order varies with hash seeding and insertion history
+DET006    ad-hoc process management (``multiprocessing``, ``os.fork``,
+          ``ProcessPoolExecutor``) outside :mod:`repro.exec` — sidesteps
+          the deterministic sharding and transport-encoding contract
 ========  ==========================================================
 
 DET004/DET005 are scoped by path: DET004 to the simulation-facing
 packages (``sim``, ``core``, ``radio``, ``aff``, ``apps``,
 ``topology``), DET005 to the kernel packages (``sim``, ``core``,
-``radio``) where event order feeds directly into results.
+``radio``) where event order feeds directly into results.  DET006 is
+the inverse: it fires everywhere *except* under an ``exec`` path
+component, the one package licensed to fork workers.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from .core import Finding, ModuleContext, Rule, register
 __all__ = [
     "InlineRandomImportRule",
     "ModuleRandomCallRule",
+    "ProcessSpawnRule",
     "SetIterationRule",
     "UnseededRandomRule",
     "WallClockRule",
@@ -284,3 +290,95 @@ class SetIterationRule(Rule):
             and isinstance(expr.func, ast.Name)
             and expr.func.id in ("set", "frozenset")
         )
+
+
+@register
+class ProcessSpawnRule(Rule):
+    rule_id = "DET006"
+    description = (
+        "process management (multiprocessing, os.fork, "
+        "ProcessPoolExecutor) outside repro.exec; route parallelism "
+        "through repro.exec.TrialRunner"
+    )
+
+    _OS_FORK_FUNCS = frozenset({"fork", "forkpty"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # repro.exec is the one package licensed to manage processes:
+        # it owns the deterministic-sharding and transport contract.
+        if ctx.in_packages({"exec"}):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.name
+                    if name == "multiprocessing" or name.startswith(
+                        "multiprocessing."
+                    ):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"import of {name}: spawn workers via "
+                            "repro.exec.TrialRunner instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "multiprocessing" or module.startswith(
+                    "multiprocessing."
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"import from {module}: spawn workers via "
+                        "repro.exec.TrialRunner instead",
+                    )
+                elif module == "concurrent.futures" and any(
+                    alias.name == "ProcessPoolExecutor" for alias in node.names
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "ProcessPoolExecutor import: spawn workers via "
+                        "repro.exec.TrialRunner instead",
+                    )
+        os_aliases = _module_aliases(ctx.tree, "os")
+        os_imported = _from_imports(ctx.tree, "os")
+        futures_aliases = _module_aliases(ctx.tree, "concurrent.futures")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._OS_FORK_FUNCS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in os_aliases
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"os.{func.attr}() outside repro.exec: forked children "
+                    "bypass the deterministic transport contract",
+                )
+            elif (
+                isinstance(func, ast.Name)
+                and os_imported.get(func.id) in self._OS_FORK_FUNCS
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"os.{os_imported[func.id]}() outside repro.exec: forked "
+                    "children bypass the deterministic transport contract",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "ProcessPoolExecutor"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in futures_aliases
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "ProcessPoolExecutor outside repro.exec: spawn workers "
+                    "via repro.exec.TrialRunner instead",
+                )

@@ -4,12 +4,21 @@
 
     python -m repro figure 1                 # analytic figures 1-3 (instant)
     python -m repro figure 4 --trials 3 --duration 20
+    python -m repro figure 4 --trials 10 --workers 4 --cache-dir .repro-cache
     python -m repro model --data-bits 16 --density 16
     python -m repro validate                 # quick Figure 4-style check
     python -m repro scenario hidden-terminal
     python -m repro report                   # everything, into a directory
 
 Figures print both the numeric table and an ASCII chart.
+
+The simulated commands (``figure 4``, ``validate``, ``sweep``,
+``report``, ``scenario``) accept execution-layer flags —
+``--workers N`` fans trials out across processes, ``--cache-dir``
+enables the content-addressed result cache, ``--no-cache`` disables it,
+and ``--telemetry PATH`` writes the run's execution telemetry as JSON.
+Worker count and cache state never change the computed numbers; see
+``docs/parallel.md``.
 """
 
 from __future__ import annotations
@@ -19,12 +28,57 @@ import sys
 from typing import Optional, Sequence
 
 from .core import model
+from .exec import ResultCache, TrialRunner
 from .experiments import figures as figs
 
 from .experiments.plotting import render_series
 from .experiments.results import Table
 
 __all__ = ["main"]
+
+
+def _add_exec_flags(sub: argparse.ArgumentParser, default_cache: Optional[str] = None) -> None:
+    """Execution-layer options shared by every simulated subcommand."""
+    group = sub.add_argument_group("execution")
+    group.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for trial execution (default 1 = serial; "
+        "results are identical at any worker count)",
+    )
+    group.add_argument(
+        "--cache-dir", default=default_cache, metavar="DIR",
+        help="content-addressed trial-result cache directory"
+        + (" (default: %(default)s)" if default_cache else " (default: off)"),
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if --cache-dir is set",
+    )
+    group.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write run telemetry (timings, cache traffic, worker "
+        "utilization) as JSON to PATH",
+    )
+
+
+def _make_runner(args: argparse.Namespace) -> TrialRunner:
+    cache = None
+    if getattr(args, "cache_dir", None) and not getattr(args, "no_cache", False):
+        cache = ResultCache(args.cache_dir)
+    return TrialRunner(workers=getattr(args, "workers", 1), cache=cache)
+
+
+def _finish_exec(runner: TrialRunner, args: argparse.Namespace) -> None:
+    """Print the one-line execution summary; persist telemetry if asked."""
+    telemetry = runner.telemetry
+    if telemetry.trials:
+        print(telemetry.render(), file=sys.stderr)
+        for record in telemetry.records:
+            if record.error is not None:
+                print(f"  failed {record.label}: {record.error}", file=sys.stderr)
+    if getattr(args, "telemetry", None):
+        telemetry.save(args.telemetry)
+        print(f"wrote {args.telemetry}", file=sys.stderr)
 
 
 def _print_figure(result: "figs.FigureResult", x_log: bool = False) -> None:
@@ -52,10 +106,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         # The envelope and fixed-size curves share axes; log-x shows the cliff.
         _print_figure(result, x_log=True)
     elif number == 4:
+        runner = _make_runner(args)
         result = figs.figure_4(
-            trials=args.trials, duration=args.duration, seed=args.seed
+            trials=args.trials, duration=args.duration, seed=args.seed,
+            runner=runner,
         )
         _print_figure(result)
+        _finish_exec(runner, args)
     else:
         print(f"no figure {number}; the paper has figures 1-4", file=sys.stderr)
         return 2
@@ -97,6 +154,7 @@ def _cmd_model(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .experiments.harness import CollisionTrialConfig, replicate
 
+    runner = _make_runner(args)
     print(
         f"Validation: 5 senders -> 1 receiver, {args.trials} x "
         f"{args.duration:.0f}s per point (paper: 10 x 120s)"
@@ -116,10 +174,12 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                     seed=args.seed,
                 ),
                 trials=args.trials,
+                runner=runner,
             )
             row.append(mean)
         table.add_row(*row)
     print(table.render())
+    _finish_exec(runner, args)
     return 0
 
 
@@ -134,27 +194,34 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    runner, description = entry
-    config = ReportConfig(duration=args.duration, seed=args.seed)
-    result = runner(config)
+    scenario_fn, description = entry
+    exec_runner = _make_runner(args)
+    config = ReportConfig(
+        duration=args.duration, seed=args.seed, runner=exec_runner
+    )
+    result = scenario_fn(config)
     table = Table(f"scenario: {args.name} — {description}", ["metric", "value"])
     for key, value in result.items():
         if key == "samples":
             continue  # trajectories are for the report's JSON, not a table
         table.add_row(key, value)
     print(table.render())
+    _finish_exec(exec_runner, args)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import ReportConfig, generate_report
 
+    runner = _make_runner(args)
     written = generate_report(
         args.output,
         ReportConfig(trials=args.trials, duration=args.duration, seed=args.seed),
+        runner=runner,
     )
     for path in written:
         print(f"wrote {path}")
+    _finish_exec(runner, args)
     return 0
 
 
@@ -176,11 +243,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         ).collision_loss_rate
 
+    runner = _make_runner(args)
     result = grid_sweep(
         trial,
         grid={"id_bits": id_bits_values, "n_senders": sender_values},
         trials=args.trials,
         base_seed=args.seed,
+        runner=runner,
     )
     table = result.to_table(
         f"collision-rate sweep ({args.selector} selection, "
@@ -188,6 +257,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         value_name="collision rate",
     )
     print(table.render())
+    _finish_exec(runner, args)
     return 0
 
 
@@ -204,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--trials", type=int, default=3)
     fig.add_argument("--duration", type=float, default=20.0)
     fig.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(fig)
     fig.set_defaults(func=_cmd_figure)
 
     mod = sub.add_parser("model", help="query the analytic model")
@@ -216,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--trials", type=int, default=2)
     val.add_argument("--duration", type=float, default=15.0)
     val.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(val)
     val.set_defaults(func=_cmd_validate)
 
     from .experiments.report import SCENARIOS as _scenario_registry
@@ -224,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("name", choices=sorted(_scenario_registry))
     scen.add_argument("--duration", type=float, default=30.0)
     scen.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(scen)
     scen.set_defaults(func=_cmd_scenario)
 
     rep = sub.add_parser("report", help="write every figure + scenario to a dir")
@@ -231,6 +304,9 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--trials", type=int, default=2)
     rep.add_argument("--duration", type=float, default=15.0)
     rep.add_argument("--seed", type=int, default=0)
+    # Reports cache by default (under the output directory) so a re-run
+    # only computes what changed; --no-cache opts out.
+    _add_exec_flags(rep, default_cache=None)
     rep.set_defaults(func=_cmd_report)
 
     swp = sub.add_parser(
@@ -249,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--trials", type=int, default=2)
     swp.add_argument("--duration", type=float, default=10.0)
     swp.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(swp)
     swp.set_defaults(func=_cmd_sweep)
 
     return parser

@@ -11,15 +11,20 @@ against brute-force truth.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..sim.rng import fallback_stream
 from .identifiers import IdentifierSpace
 from .transactions import TransactionLog
 
-__all__ = ["MonteCarloResult", "simulate_collision_rate"]
+__all__ = [
+    "MonteCarloResult",
+    "replicate_collision_rate",
+    "simulate_collision_rate",
+]
 
 DurationSampler = Callable[[random.Random], float]
 
@@ -118,3 +123,91 @@ def simulate_collision_rate(
         collision_rate=collided / len(tracked),
         measured_density=log.measured_density(),
     )
+
+
+def _montecarlo_trial(
+    id_bits: int,
+    arrival_rate: float,
+    duration_sampler: DurationSampler,
+    horizon: float,
+    warmup: float,
+    seed: int,
+) -> dict:
+    """One seeded Monte Carlo replicate, as a JSON-safe dict."""
+    result = simulate_collision_rate(
+        id_bits,
+        arrival_rate,
+        duration_sampler,
+        horizon=horizon,
+        rng=random.Random(seed),
+        warmup=warmup,
+    )
+    return {
+        "transactions": result.transactions,
+        "collision_rate": result.collision_rate,
+        "measured_density": result.measured_density,
+    }
+
+
+def replicate_collision_rate(
+    id_bits: int,
+    arrival_rate: float,
+    duration_sampler: DurationSampler,
+    trials: int = 4,
+    base_seed: int = 0,
+    horizon: float = 1000.0,
+    warmup: float = 0.0,
+    runner=None,
+) -> Tuple[float, float, List[MonteCarloResult]]:
+    """Replicated Monte Carlo: ``(mean, stddev, results)`` over seeds.
+
+    Replicate ``k`` draws from ``random.Random(derive_seed(base_seed,
+    f"trial:{point}:{k}"))`` — the same convention the experiment
+    harness uses — and the replicates fan out across the optional
+    :class:`repro.exec.TrialRunner`'s workers.  Empty replicates (NaN
+    collision rate) are excluded from the aggregate, mirroring
+    :func:`repro.experiments.results.aggregate_trials`.
+    """
+    from ..exec import TrialRunner, TrialSpec, canonical_point, derive_trial_seed
+
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    runner = runner if runner is not None else TrialRunner()
+    point = canonical_point(
+        {
+            "id_bits": id_bits,
+            "arrival_rate": arrival_rate,
+            "duration_sampler": duration_sampler,
+            "horizon": horizon,
+            "warmup": warmup,
+        }
+    )
+    specs = [
+        TrialSpec(
+            fn=_montecarlo_trial,
+            kwargs=dict(
+                id_bits=id_bits,
+                arrival_rate=arrival_rate,
+                duration_sampler=duration_sampler,
+                horizon=horizon,
+                warmup=warmup,
+                seed=derive_trial_seed(base_seed, point, k),
+            ),
+            label=f"montecarlo#{k}",
+        )
+        for k in range(trials)
+    ]
+    outcomes = runner.run(specs)
+    results = [
+        MonteCarloResult(**outcome.value) for outcome in outcomes if outcome.ok
+    ]
+    rates = [r.collision_rate for r in results if not math.isnan(r.collision_rate)]
+    if not rates:
+        return float("nan"), float("nan"), results
+    mean = sum(rates) / len(rates)
+    if len(rates) > 1:
+        var = sum((r - mean) ** 2 for r in rates) / (len(rates) - 1)
+        stdev = math.sqrt(var)
+    else:
+        stdev = 0.0
+    return mean, stdev, results

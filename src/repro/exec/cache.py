@@ -1,0 +1,101 @@
+"""Content-addressed, on-disk trial-result cache.
+
+Entries live at ``<root>/<key[:2]>/<key>.json`` where ``key`` is the
+SHA-256 content address from :func:`repro.exec.keys.trial_key` — the
+hash of the trial function's qualified name, its parameters, its seed,
+and the package version.  Because the *address* encodes the inputs,
+invalidation is free: change anything and the lookup simply misses.
+Entries are versioned envelopes (see
+:mod:`repro.experiments.persistence`), so a future format change makes
+old files unreadable-as-envelopes rather than silently mis-parsed;
+unreadable or mismatched entries are deleted and recomputed.
+
+Values are stored in transport encoding (:func:`repro.exec.runner`'s
+JSON-safe form), which is exactly what workers ship over their result
+pipes — a cache hit and a fresh computation are therefore
+indistinguishable to the caller, byte for byte.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
+
+__all__ = ["CacheStats", "ResultCache"]
+
+_KIND = "trial-result"
+
+
+@dataclass
+class CacheStats:
+    """Traffic counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupted: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.writes = self.corrupted = 0
+
+
+class ResultCache:
+    """A directory of content-addressed trial results."""
+
+    def __init__(self, root: Union[str, pathlib.Path]):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, transport-encoded value)`` for ``key``.
+
+        A corrupted entry — truncated file, wrong schema, foreign kind,
+        or a key mismatch from a hash truncation bug — counts as a miss,
+        is deleted, and will be rewritten by the next :meth:`put`.
+        """
+        from ..experiments.persistence import EnvelopeError, load_envelope
+
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return False, None
+        try:
+            payload = load_envelope(path, _KIND)
+            if payload.get("key") != key:
+                raise EnvelopeError(f"{path}: stored key does not match address")
+            value = payload["value"]
+        except (EnvelopeError, KeyError, OSError):
+            self.stats.corrupted += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any, meta: Optional[dict] = None) -> None:
+        """Store a transport-encoded ``value`` under ``key`` (atomic)."""
+        from ..experiments.persistence import save_envelope
+
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "value": value}
+        if meta:
+            payload["meta"] = meta
+        save_envelope(path, _KIND, payload)
+        self.stats.writes += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"<ResultCache {self.root} stats={self.stats}>"

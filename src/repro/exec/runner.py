@@ -1,0 +1,425 @@
+"""Deterministic parallel trial execution.
+
+:class:`TrialRunner` fans independent ``(function, kwargs)`` trials out
+across forked worker processes and returns their results **in spec
+order**, bit-identical to a serial run.  The determinism contract:
+
+1. Every trial's inputs (including its seed, derived via
+   :func:`repro.exec.keys.derive_trial_seed`) are fixed before any
+   worker starts; nothing about scheduling can influence a result.
+2. Sharding is static round-robin — worker ``w`` of ``W`` computes
+   trials ``w, w+W, w+2W, ...`` of the pending list — so the
+   work assignment itself is a pure function of ``(trials, W)``.
+3. Results travel as canonical JSON (the *transport encoding*) whether
+   they come from a worker pipe, the in-process serial path, or the
+   result cache, so every path yields the same bytes.
+
+Workers are created with ``os.fork`` rather than ``multiprocessing``
+so trial closures need not be picklable (sweep call sites routinely
+pass lambdas); the fork inherits them by memory.  This is the one
+module allowed to fork — lint rule DET006 flags parallelism primitives
+anywhere else in the tree.
+
+Failures are data, not control flow: a trial that raises, times out
+(per-trial deadline, bounded retry), returns an unserialisable value,
+or loses its worker produces a structured :class:`TrialFailure` in its
+outcome slot instead of killing the sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import signal
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from .cache import ResultCache
+from .telemetry import RunTelemetry, TrialRecord
+
+__all__ = [
+    "ExecError",
+    "TrialFailure",
+    "TrialOutcome",
+    "TrialRunner",
+    "TrialSpec",
+    "TrialTimeout",
+    "decode_jsonable",
+    "encode_jsonable",
+]
+
+
+class ExecError(RuntimeError):
+    """Raised by callers when an execution produced no usable results."""
+
+
+class TrialTimeout(Exception):
+    """A trial exceeded its per-attempt deadline."""
+
+
+# ----------------------------------------------------------------------
+# Transport encoding: JSON with non-finite floats tagged unambiguously
+# ----------------------------------------------------------------------
+def encode_jsonable(value: Any) -> Any:
+    """Encode ``value`` for the result pipe / cache (JSON, no NaN)."""
+    if isinstance(value, float) and value != value:
+        return {"__float__": "nan"}
+    if isinstance(value, float) and value in (float("inf"), float("-inf")):
+        return {"__float__": repr(value)}
+    if isinstance(value, (list, tuple)):
+        return [encode_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): encode_jsonable(item) for key, item in value.items()}
+    return value
+
+
+def decode_jsonable(value: Any) -> Any:
+    """Invert :func:`encode_jsonable`."""
+    if isinstance(value, dict):
+        if set(value) == {"__float__"}:
+            return float(value["__float__"])
+        return {key: decode_jsonable(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_jsonable(item) for item in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# Specs and outcomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrialSpec:
+    """One trial: call ``fn(**kwargs)`` and keep its return value."""
+
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any]
+    label: str = ""
+    #: content address for the result cache (None = never cached)
+    cache_key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """Structured record of why a trial produced no value."""
+
+    label: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+
+    def render(self) -> str:
+        return f"{self.label or 'trial'}: {self.error_type}: {self.message}"
+
+
+@dataclass
+class TrialOutcome:
+    """Result slot for one spec, in spec order."""
+
+    value: Any
+    ok: bool
+    cached: bool = False
+    duration: float = 0.0
+    attempts: int = 0
+    worker: Optional[int] = None
+    failure: Optional[TrialFailure] = None
+
+
+# ----------------------------------------------------------------------
+# Per-attempt deadline (SIGALRM; main thread only, no-op elsewhere)
+# ----------------------------------------------------------------------
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum: int, frame: Any) -> None:
+        raise TrialTimeout(f"trial exceeded {seconds:.3f}s deadline")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))  # type: ignore[arg-type]
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+class TrialRunner:
+    """Shards trials over forked workers; caches; collects telemetry.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes to fork.  ``1`` (the default) runs in-process;
+        both paths produce identical results.
+    cache:
+        Optional :class:`~repro.exec.cache.ResultCache`.  Specs with a
+        ``cache_key`` are looked up before execution and stored after.
+    timeout:
+        Per-attempt deadline in seconds (None = unbounded).
+    retries:
+        Extra attempts after a failed/timed-out one (total attempts =
+        ``retries + 1``).  Retries re-run the identical inputs, so they
+        only help against nondeterministic externalities (timeouts).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = retries
+        #: cumulative telemetry over every :meth:`run` on this runner
+        self.telemetry = RunTelemetry(workers=workers)
+        #: telemetry of the most recent :meth:`run` only
+        self.last_telemetry = RunTelemetry(workers=workers)
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[TrialSpec]) -> List[TrialOutcome]:
+        """Execute ``specs``; outcomes align index-for-index with them."""
+        started = time.perf_counter()
+        telemetry = RunTelemetry(workers=self.workers)
+        outcomes: List[TrialOutcome] = [
+            TrialOutcome(value=None, ok=False) for _ in specs
+        ]
+
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            if self.cache is not None and spec.cache_key is not None:
+                hit, stored = self.cache.get(spec.cache_key)
+                if hit:
+                    outcomes[index] = TrialOutcome(
+                        value=decode_jsonable(stored), ok=True, cached=True
+                    )
+                    continue
+                telemetry.cache_misses += 1
+            pending.append(index)
+
+        effective = max(1, min(self.workers, len(pending)))
+        if pending:
+            if effective == 1 or not hasattr(os, "fork"):
+                effective = 1
+                messages = self._run_serial(specs, pending)
+            else:
+                messages = self._run_forked(specs, pending, effective)
+            self._collect(specs, pending, messages, outcomes)
+
+        telemetry.workers = effective
+        for index, outcome in enumerate(outcomes):
+            telemetry.record(
+                TrialRecord(
+                    index=index,
+                    label=specs[index].label,
+                    cached=outcome.cached,
+                    ok=outcome.ok,
+                    attempts=outcome.attempts,
+                    duration=outcome.duration,
+                    worker=outcome.worker,
+                    error=(
+                        f"{outcome.failure.error_type}: {outcome.failure.message}"
+                        if outcome.failure is not None
+                        else None
+                    ),
+                )
+            )
+        if self.cache is not None:
+            telemetry.cache_writes = self.cache.stats.writes
+            telemetry.cache_corrupted = self.cache.stats.corrupted
+        telemetry.wall_time = time.perf_counter() - started
+        self.last_telemetry = telemetry
+        self.telemetry.merge(telemetry)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _execute_one(self, spec: TrialSpec) -> Dict[str, Any]:
+        """Run one spec with deadline + bounded retry; return a message.
+
+        Messages are plain JSON dicts — the same shape a forked worker
+        ships over its pipe — so serial and parallel runs share one
+        code path from here up.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            t0 = time.perf_counter()
+            try:
+                with _deadline(self.timeout):
+                    value = spec.fn(**dict(spec.kwargs))
+                encoded = encode_jsonable(value)
+                json.dumps(encoded, allow_nan=False)  # transportability gate
+                return {
+                    "ok": True,
+                    "value": encoded,
+                    "duration": time.perf_counter() - t0,
+                    "attempts": attempts,
+                }
+            except Exception as exc:
+                if attempts <= self.retries:
+                    continue
+                return {
+                    "ok": False,
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                    "duration": time.perf_counter() - t0,
+                    "attempts": attempts,
+                }
+
+    def _run_serial(
+        self, specs: Sequence[TrialSpec], pending: Sequence[int]
+    ) -> Dict[int, Dict[str, Any]]:
+        messages: Dict[int, Dict[str, Any]] = {}
+        for index in pending:
+            message = self._execute_one(specs[index])
+            # Round-trip through JSON so the serial path is byte-for-byte
+            # the parallel path (tuples become lists, floats reparse).
+            message = json.loads(json.dumps(message, allow_nan=False))
+            message["worker"] = 0
+            messages[index] = message
+        return messages
+
+    def _run_forked(
+        self, specs: Sequence[TrialSpec], pending: Sequence[int], workers: int
+    ) -> Dict[int, Dict[str, Any]]:
+        shards = [list(pending[w::workers]) for w in range(workers)]
+        children: List[tuple] = []  # (pid, read_fd)
+        for worker_id, shard in enumerate(shards):
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                # Worker child: compute the shard, stream length-prefixed
+                # JSON messages back, and _exit without touching the
+                # parent's atexit/pytest machinery.
+                status = 0
+                try:
+                    os.close(read_fd)
+                    with os.fdopen(write_fd, "wb", buffering=0) as out:
+                        for index in shard:
+                            message = self._execute_one(specs[index])
+                            message["worker"] = worker_id
+                            message["index"] = index
+                            data = json.dumps(message, allow_nan=False).encode(
+                                "utf-8"
+                            )
+                            out.write(len(data).to_bytes(4, "big") + data)
+                except BaseException:
+                    status = 1
+                finally:
+                    os._exit(status)
+            os.close(write_fd)
+            children.append((pid, read_fd))
+
+        messages = self._drain_pipes([fd for _, fd in children])
+        for pid, _ in children:
+            os.waitpid(pid, 0)
+        return messages
+
+    @staticmethod
+    def _drain_pipes(fds: Sequence[int]) -> Dict[int, Dict[str, Any]]:
+        """Multiplex reads so no worker blocks on a full pipe buffer."""
+        messages: Dict[int, Dict[str, Any]] = {}
+        buffers: Dict[int, bytes] = {fd: b"" for fd in fds}
+        selector = selectors.DefaultSelector()
+        for fd in fds:
+            selector.register(fd, selectors.EVENT_READ)
+        open_fds = set(fds)
+        while open_fds:
+            for key, _ in selector.select():
+                fd = key.fd
+                chunk = os.read(fd, 1 << 16)
+                if not chunk:
+                    selector.unregister(fd)
+                    os.close(fd)
+                    open_fds.discard(fd)
+                    continue
+                buffers[fd] += chunk
+                while len(buffers[fd]) >= 4:
+                    size = int.from_bytes(buffers[fd][:4], "big")
+                    if len(buffers[fd]) < 4 + size:
+                        break
+                    frame = buffers[fd][4 : 4 + size]
+                    buffers[fd] = buffers[fd][4 + size :]
+                    message = json.loads(frame.decode("utf-8"))
+                    messages[message.pop("index")] = message
+        selector.close()
+        return messages
+
+    def _collect(
+        self,
+        specs: Sequence[TrialSpec],
+        pending: Sequence[int],
+        messages: Dict[int, Dict[str, Any]],
+        outcomes: List[TrialOutcome],
+    ) -> None:
+        for index in pending:
+            spec = specs[index]
+            message = messages.get(index)
+            if message is None:
+                # Worker died (crash, OOM kill, os._exit in the trial)
+                # before reporting this trial.
+                outcomes[index] = TrialOutcome(
+                    value=None,
+                    ok=False,
+                    failure=TrialFailure(
+                        label=spec.label,
+                        error_type="WorkerCrashed",
+                        message="worker exited before reporting this trial",
+                        traceback="",
+                        attempts=0,
+                    ),
+                )
+                continue
+            if message["ok"]:
+                outcomes[index] = TrialOutcome(
+                    value=decode_jsonable(message["value"]),
+                    ok=True,
+                    duration=float(message["duration"]),
+                    attempts=int(message["attempts"]),
+                    worker=message.get("worker"),
+                )
+                if self.cache is not None and spec.cache_key is not None:
+                    self.cache.put(
+                        spec.cache_key,
+                        message["value"],
+                        meta={"label": spec.label},
+                    )
+            else:
+                outcomes[index] = TrialOutcome(
+                    value=None,
+                    ok=False,
+                    duration=float(message["duration"]),
+                    attempts=int(message["attempts"]),
+                    worker=message.get("worker"),
+                    failure=TrialFailure(
+                        label=spec.label,
+                        error_type=message["error_type"],
+                        message=message["message"],
+                        traceback=message["traceback"],
+                        attempts=int(message["attempts"]),
+                    ),
+                )

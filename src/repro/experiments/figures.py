@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core import model
+from ..exec import TrialRunner
 from .harness import CollisionTrialConfig, replicate
 from .results import Series, Table
 
@@ -170,12 +171,16 @@ def figure_4(
     duration: float = 120.0,
     n_senders: int = 5,
     seed: int = 0,
+    runner: Optional[TrialRunner] = None,
 ) -> FigureResult:
     """Figure 4: model vs measured collision rate, random vs listening.
 
     Runs the full simulated stack (radios, MAC, fragmentation driver,
     instrumented receiver).  ``duration`` and ``trials`` default to the
     paper's 120 s x 10; benchmarks shrink them for runtime and note so.
+    ``runner`` fans the replicated trials out across worker processes
+    (and serves repeats from the result cache) without changing a
+    single output byte; see :mod:`repro.exec`.
     """
     model_series = Series(label=f"model T={n_senders}")
     uniform_series = Series(label="measured random")
@@ -196,7 +201,7 @@ def figure_4(
                 selector=selector,
                 seed=seed,
             )
-            mean, stdev, _results = replicate(config, trials=trials)
+            mean, stdev, _results = replicate(config, trials=trials, runner=runner)
             series.append(id_bits, mean, yerr=stdev)
 
     table = Table(

@@ -14,9 +14,18 @@ uniform-random or listening.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
-from typing import Callable, List, Optional
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Dict, List, Optional
 
+from .. import __version__
+from ..exec import (
+    ExecError,
+    TrialRunner,
+    TrialSpec,
+    canonical_point,
+    derive_trial_seed,
+    trial_key,
+)
 from ..aff.driver import AffDriver
 from ..aff.instrumented import InstrumentedReceiver
 from ..apps.workloads import ContinuousStreamSender
@@ -201,19 +210,82 @@ def run_collision_trial(config: CollisionTrialConfig) -> TrialResult:
     )
 
 
+#: TrialResult fields that cross the worker/cache boundary (everything
+#: but the config, which the parent re-attaches — configs may hold
+#: callables that have no JSON form).
+_OBSERVABLE_FIELDS = tuple(
+    f.name for f in fields(TrialResult) if f.name != "config"
+)
+
+
+def _trial_observables(config: CollisionTrialConfig) -> Dict[str, Any]:
+    """Run one trial, returning its observables as a JSON-safe dict."""
+    result = run_collision_trial(config)
+    return {name: getattr(result, name) for name in _OBSERVABLE_FIELDS}
+
+
 def replicate(
-    config: CollisionTrialConfig, trials: int = 10
+    config: CollisionTrialConfig,
+    trials: int = 10,
+    runner: Optional[TrialRunner] = None,
 ) -> tuple[float, float, List[TrialResult]]:
     """Run ``trials`` seeded replicates; returns (mean, stddev, results).
 
     Matches the paper's protocol: "Ten trials were executed for each
-    identifier size."
+    identifier size."  Replicate ``k`` runs with
+    ``derive_seed(config.seed, f"trial:{point}:{k}")`` where ``point``
+    is the canonical form of the configuration (minus its seed) — see
+    :mod:`repro.exec.keys` for why the additive ``seed + 1000*k``
+    convention was retired.
+
+    Pass a :class:`repro.exec.TrialRunner` to fan replicates out across
+    worker processes and/or serve them from the result cache; worker
+    count never changes the returned values.  Failed replicates are
+    dropped from the aggregate (their structured failure records are in
+    the runner's telemetry); if *every* replicate fails, the first
+    failure is raised as :class:`repro.exec.ExecError`.
     """
     if trials < 1:
         raise ValueError("need at least one trial")
+    runner = runner if runner is not None else TrialRunner()
+    point = canonical_point(
+        {
+            f.name: getattr(config, f.name)
+            for f in fields(config)
+            if f.name != "seed"
+        }
+    )
+    specs: List[TrialSpec] = []
+    configs: List[CollisionTrialConfig] = []
+    for k in range(trials):
+        seed = derive_trial_seed(config.seed, point, k)
+        trial_config = replace(config, seed=seed)
+        configs.append(trial_config)
+        key = None
+        if runner.cache is not None:
+            key = trial_key(
+                "repro.experiments.harness.run_collision_trial",
+                {"config": trial_config},
+                seed,
+                __version__,
+            )
+        specs.append(
+            TrialSpec(
+                fn=_trial_observables,
+                kwargs={"config": trial_config},
+                label=f"collision-trial#{k}",
+                cache_key=key,
+            )
+        )
+    outcomes = runner.run(specs)
     results = [
-        run_collision_trial(replace(config, seed=config.seed + 1000 * i))
-        for i in range(trials)
+        TrialResult(config=trial_config, **outcome.value)
+        for trial_config, outcome in zip(configs, outcomes)
+        if outcome.ok
     ]
+    if not results:
+        failures = [o.failure for o in outcomes if o.failure is not None]
+        detail = failures[0].render() if failures else "no outcomes"
+        raise ExecError(f"all {trials} replicates failed; first: {detail}")
     mean, stdev = aggregate_trials([r.collision_loss_rate for r in results])
     return mean, stdev, results

@@ -20,6 +20,8 @@ from .results import Series, Table
 from .sweep import SweepPoint, SweepResult
 
 __all__ = [
+    "EnvelopeError",
+    "SCHEMA_VERSION",
     "figure_from_json",
     "figure_to_json",
     "series_from_json",
@@ -28,7 +30,18 @@ __all__ = [
     "sweep_to_json",
     "save_json",
     "load_json",
+    "load_envelope",
+    "save_envelope",
 ]
+
+#: Version stamped into every envelope this package writes.  Bump it
+#: when a payload format changes incompatibly: readers reject unknown
+#: versions outright instead of mis-parsing them.
+SCHEMA_VERSION = 1
+
+
+class EnvelopeError(ValueError):
+    """A persisted file is not a readable envelope of the expected kind."""
 
 
 def _encode_float(value: float):
@@ -139,3 +152,53 @@ def save_json(path: Union[str, pathlib.Path], payload: Dict[str, Any]) -> None:
 
 def load_json(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
     return json.loads(pathlib.Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# Versioned envelopes (cache entries, telemetry, benchmark records)
+# ----------------------------------------------------------------------
+def save_envelope(
+    path: Union[str, pathlib.Path], kind: str, payload: Dict[str, Any]
+) -> None:
+    """Write ``payload`` wrapped in a ``{"schema": 1, "kind": ...}`` envelope.
+
+    The write is atomic (temp file + rename) so a reader never observes
+    a half-written envelope — crucial for the result cache, which treats
+    unreadable entries as corruption.
+    """
+    target = pathlib.Path(path)
+    data = json.dumps(
+        {"schema": SCHEMA_VERSION, "kind": kind, "payload": payload},
+        indent=2,
+        sort_keys=True,
+        allow_nan=False,
+    )
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(data + "\n")
+    tmp.replace(target)
+
+
+def load_envelope(path: Union[str, pathlib.Path], kind: str) -> Dict[str, Any]:
+    """Read an envelope written by :func:`save_envelope`, verifying it.
+
+    Raises :class:`EnvelopeError` when the file is not valid JSON, is
+    not an envelope, carries a different schema version, or holds a
+    different kind of payload.  Future format changes therefore
+    invalidate cleanly: old readers refuse new files and vice versa.
+    """
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise EnvelopeError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise EnvelopeError(f"{path}: not an envelope (top level is not an object)")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise EnvelopeError(
+            f"{path}: schema {data.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    if data.get("kind") != kind:
+        raise EnvelopeError(f"{path}: kind {data.get('kind')!r} != {kind!r}")
+    payload = data.get("payload")
+    if not isinstance(payload, dict):
+        raise EnvelopeError(f"{path}: envelope payload is not an object")
+    return payload

@@ -31,6 +31,7 @@ from ..apps.interest import InterestSink, InterestSource
 from ..apps.workloads import PeriodicSender
 from ..core.identifiers import IdentifierSpace, ListeningSelector, UniformSelector
 from ..core.policies import DynamicLocalPolicy, RetriPolicy, StaticGlobalPolicy
+from ..exec import TrialRunner, TrialSpec
 from ..net.packets import BitBudget
 from ..radio.mac import CsmaMac
 from ..radio.medium import BroadcastMedium
@@ -212,36 +213,71 @@ def dynamic_allocation_overhead(
 # ----------------------------------------------------------------------
 # Hidden terminals: listening's blind spot (Section 3.2)
 # ----------------------------------------------------------------------
+def _star_factory(n: int) -> Star:
+    return Star(hub=n, leaves=range(n))
+
+
+def _hidden_terminal_trial(
+    topology: str, selector: str, id_bits: int, n_senders: int,
+    duration: float, seed: int,
+) -> float:
+    """One (topology, selector) cell of the hidden-terminal comparison."""
+    config = CollisionTrialConfig(
+        id_bits=id_bits,
+        n_senders=n_senders,
+        duration=duration,
+        selector=selector,
+        seed=seed,
+        topology_factory=(_star_factory if topology == "star" else None),
+    )
+    return run_collision_trial(config).collision_loss_rate
+
+
 def hidden_terminal_experiment(
     id_bits: int = 5,
     n_senders: int = 5,
     duration: float = 60.0,
     seed: int = 0,
+    runner: Optional[TrialRunner] = None,
 ) -> Dict[str, float]:
     """Collision-loss rate of listening selection: full mesh vs star.
 
     In the star, senders cannot hear each other, so listening degenerates
     to uniform selection; in the full mesh it avoids most collisions.
-    Returns the four measured rates.
+    Returns the four measured rates.  The four cells are independent
+    trials and fan out across the ``runner``'s workers; all cells keep
+    the caller's seed, so results match the historical serial loop
+    exactly.
     """
-
-    def star_factory(n: int):
-        return Star(hub=n, leaves=range(n))
-
-    out: Dict[str, float] = {}
-    for topo_name, factory in (("mesh", None), ("star", star_factory)):
-        for selector in ("uniform", "listening"):
-            config = CollisionTrialConfig(
-                id_bits=id_bits,
-                n_senders=n_senders,
-                duration=duration,
-                selector=selector,
-                seed=seed,
-                topology_factory=factory,
+    runner = runner if runner is not None else TrialRunner()
+    cells = [
+        (topology, selector)
+        for topology in ("mesh", "star")
+        for selector in ("uniform", "listening")
+    ]
+    outcomes = runner.run(
+        [
+            TrialSpec(
+                fn=_hidden_terminal_trial,
+                kwargs=dict(
+                    topology=topology,
+                    selector=selector,
+                    id_bits=id_bits,
+                    n_senders=n_senders,
+                    duration=duration,
+                    seed=seed,
+                ),
+                label=f"hidden-terminal:{topology}.{selector}",
             )
-            result = run_collision_trial(config)
-            out[f"{topo_name}.{selector}"] = result.collision_loss_rate
-    return out
+            for topology, selector in cells
+        ]
+    )
+    return {
+        f"{topology}.{selector}": (
+            float(outcome.value) if outcome.ok else float("nan")
+        )
+        for (topology, selector), outcome in zip(cells, outcomes)
+    }
 
 
 # ----------------------------------------------------------------------

@@ -14,17 +14,33 @@ shape out, so new experiments are a dictionary away::
     )
     result.mean(id_bits=4)   # aggregated observable at that point
 
-Points are evaluated deterministically: replicate ``k`` of a point gets
-``seed = base_seed + 1000*k`` (matching the harness's convention), and
-grid order is the cartesian product in the order given.
+Points are evaluated deterministically: grid order is the cartesian
+product in the order given, and replicate ``k`` of a point gets the
+seed ``derive_seed(base_seed, f"trial:{point}:{k}")`` where ``point``
+is the canonical JSON of the point's parameters (see
+:mod:`repro.exec.keys`).  Seeds are therefore independent of evaluation
+order and collision-free across points and base seeds — unlike the old
+``base_seed + 1000*k`` convention, where ``(base=0, k=1)`` aliased
+``(base=1000, k=0)`` and every grid point reused the same seed list.
+
+Execution is delegated to :class:`repro.exec.TrialRunner`: pass
+``runner=TrialRunner(workers=4, cache=ResultCache(...))`` to fan
+replicates out across processes and/or reuse cached trial results.
+Serial and parallel runs produce byte-identical :class:`SweepResult`\\ s.
+A trial that fails (exception, timeout, crashed worker) contributes
+``NaN`` — excluded from aggregation — instead of killing the sweep; the
+structured failure records live in the runner's telemetry.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from .. import __version__
+from ..exec import TrialRunner, TrialSpec, canonical_point, derive_trial_seed, trial_key
+from ..exec.keys import function_name
 from .results import Table, aggregate_trials
 
 __all__ = ["SweepPoint", "SweepResult", "grid_sweep"]
@@ -88,6 +104,7 @@ def grid_sweep(
     trials: int = 1,
     base_seed: int = 0,
     seed_param: str = "seed",
+    runner: Optional[TrialRunner] = None,
 ) -> SweepResult:
     """Evaluate ``trial_fn`` over the cartesian grid with replication.
 
@@ -100,25 +117,53 @@ def grid_sweep(
         Mapping of parameter name -> values to sweep.
     trials:
         Replicates per point; replicate ``k`` receives
-        ``base_seed + 1000*k`` as its seed.
+        ``derive_seed(base_seed, f"trial:{point}:{k}")`` as its seed.
     seed_param:
         Name of the seed keyword (set to None-like '' to disable seeding
         for deterministic trial functions).
+    runner:
+        A :class:`repro.exec.TrialRunner` for parallel/cached execution;
+        defaults to a serial, uncached one.  The result is identical
+        regardless of worker count.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
     if not grid:
         raise ValueError("grid must have at least one axis")
+    runner = runner if runner is not None else TrialRunner()
     axes = list(grid)
     result = SweepResult(axes=axes)
+
+    specs: List[TrialSpec] = []
+    point_params: List[Dict[str, Any]] = []
     for combo in itertools.product(*(grid[axis] for axis in axes)):
         params = dict(zip(axes, combo))
-        values = []
+        point_params.append(params)
+        point = canonical_point(params)
         for k in range(trials):
             kwargs = dict(params)
+            seed = None
             if seed_param:
-                kwargs[seed_param] = base_seed + 1000 * k
-            values.append(float(trial_fn(**kwargs)))
+                seed = derive_trial_seed(base_seed, point, k)
+                kwargs[seed_param] = seed
+            key = None
+            if runner.cache is not None:
+                key = trial_key(function_name(trial_fn), kwargs, seed, __version__)
+            specs.append(
+                TrialSpec(
+                    fn=trial_fn,
+                    kwargs=kwargs,
+                    label=f"{point}#{k}",
+                    cache_key=key,
+                )
+            )
+
+    outcomes = runner.run(specs)
+    for i, params in enumerate(point_params):
+        slot = outcomes[i * trials : (i + 1) * trials]
+        values = [
+            float(o.value) if o.ok else float("nan") for o in slot
+        ]
         mean, stdev = aggregate_trials(values)
         result.points.append(
             SweepPoint(params=params, values=values, mean=mean, stdev=stdev)

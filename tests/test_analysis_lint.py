@@ -144,6 +144,47 @@ class TestDeterminismRules:
         findings = lint_source(tmp_path, source, relpath="core/sched.py")
         assert findings == []
 
+    def test_det006_flags_multiprocessing_imports(self, tmp_path):
+        source = (
+            "import multiprocessing\n"
+            "from multiprocessing import Pool\n"
+            "from multiprocessing.pool import ThreadPool\n"
+        )
+        findings = lint_source(tmp_path, source, relpath="experiments/sweep.py")
+        assert rule_ids(findings) == ["DET006", "DET006", "DET006"]
+
+    def test_det006_flags_os_fork_calls(self, tmp_path):
+        source = (
+            "import os\n"
+            "from os import fork\n"
+            "pid_a = os.fork()\n"
+            "pid_b = fork()\n"
+        )
+        findings = lint_source(tmp_path, source, relpath="experiments/run.py")
+        assert rule_ids(findings) == ["DET006", "DET006"]
+
+    def test_det006_flags_process_pool_executor(self, tmp_path):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "import concurrent.futures as cf\n"
+            "pool = cf.ProcessPoolExecutor()\n"
+        )
+        findings = lint_source(tmp_path, source, relpath="experiments/run.py")
+        assert rule_ids(findings) == ["DET006", "DET006"]
+
+    def test_det006_exempts_the_exec_package(self, tmp_path):
+        source = (
+            "import os\n"
+            "pid = os.fork()\n"
+        )
+        findings = lint_source(tmp_path, source, relpath="exec/runner.py")
+        assert findings == []
+
+    def test_det006_allows_thread_pool_executor(self, tmp_path):
+        source = "from concurrent.futures import ThreadPoolExecutor\n"
+        findings = lint_source(tmp_path, source, relpath="experiments/run.py")
+        assert findings == []
+
 
 # ----------------------------------------------------------------------
 # Rule pack 2: wire-format invariants
@@ -422,6 +463,7 @@ class TestShippedTree:
             "DET003",
             "DET004",
             "DET005",
+            "DET006",
             "WIRE001",
             "WIRE002",
             "WIRE003",

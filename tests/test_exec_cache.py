@@ -1,0 +1,191 @@
+"""Tests for the content-addressed result cache and envelope format."""
+
+import json
+
+import pytest
+
+import repro
+from repro.exec import ResultCache, TrialRunner, TrialSpec, trial_key
+from repro.experiments.persistence import (
+    EnvelopeError,
+    load_envelope,
+    save_envelope,
+    sweep_to_json,
+)
+from repro.experiments.sweep import grid_sweep
+
+
+def counting_trial(log):
+    """A trial fn that records every actual execution in ``log``."""
+
+    def trial(x, seed):
+        log.append((x, seed))
+        return x + (seed % 11) * 0.5
+
+    return trial
+
+
+class TestTrialKey:
+    def test_stable_for_identical_inputs(self):
+        a = trial_key("pkg.fn", {"x": 1, "y": 2.5}, seed=9, version="1.0.0")
+        b = trial_key("pkg.fn", {"y": 2.5, "x": 1}, seed=9, version="1.0.0")
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_any_input_change_misses(self):
+        base = trial_key("pkg.fn", {"x": 1}, seed=9, version="1.0.0")
+        assert trial_key("pkg.fn", {"x": 2}, seed=9, version="1.0.0") != base
+        assert trial_key("pkg.fn", {"x": 1}, seed=8, version="1.0.0") != base
+        assert trial_key("pkg.fn", {"x": 1}, seed=9, version="1.0.1") != base
+        assert trial_key("pkg.other", {"x": 1}, seed=9, version="1.0.0") != base
+
+
+class TestResultCache:
+    def test_round_trip_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = trial_key("fn", {"x": 1}, 0, repro.__version__)
+        hit, _ = cache.get(key)
+        assert not hit
+        cache.put(key, {"value": 1.5}, meta={"label": "t"})
+        hit, stored = cache.get(key)
+        assert hit
+        assert stored == {"value": 1.5}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+        assert len(cache) == 1
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = trial_key("fn", {"x": 1}, 0, repro.__version__)
+        cache.put(key, 3.0)
+        path = cache.path_for(key)
+        path.write_text("{not json at all")
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.stats.corrupted == 1
+        assert not path.exists()  # deleted, next put rewrites it
+        cache.put(key, 3.0)
+        assert cache.get(key) == (True, 3.0)
+
+    def test_wrong_kind_and_key_mismatch_count_as_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = trial_key("fn", {"x": 1}, 0, repro.__version__)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_envelope(path, "run-telemetry", {"key": key, "value": 1})
+        assert cache.get(key) == (False, None)
+        save_envelope(path, "trial-result", {"key": "somebody-else", "value": 1})
+        assert cache.get(key) == (False, None)
+        assert cache.stats.corrupted == 2
+
+
+class TestRunnerCacheIntegration:
+    def test_identical_sweep_is_served_from_cache(self, tmp_path):
+        log = []
+        trial = counting_trial(log)
+        grid = {"x": [1, 2]}
+
+        cold_runner = TrialRunner(cache=ResultCache(tmp_path / "c"))
+        cold = grid_sweep(trial, grid=grid, trials=2, runner=cold_runner)
+        assert len(log) == 4
+        assert cold_runner.telemetry.cache_hits == 0
+        assert cold_runner.telemetry.cache_writes == 4
+
+        warm_runner = TrialRunner(cache=ResultCache(tmp_path / "c"))
+        warm = grid_sweep(trial, grid=grid, trials=2, runner=warm_runner)
+        assert len(log) == 4  # nothing recomputed
+        assert warm_runner.telemetry.cache_hits == 4
+        assert warm_runner.telemetry.computed == 0
+        assert json.dumps(sweep_to_json(cold), sort_keys=True) == json.dumps(
+            sweep_to_json(warm), sort_keys=True
+        )
+
+    def test_changed_params_or_base_seed_miss(self, tmp_path):
+        log = []
+        trial = counting_trial(log)
+        cache_dir = tmp_path / "c"
+
+        grid_sweep(
+            trial, grid={"x": [1]}, trials=1,
+            runner=TrialRunner(cache=ResultCache(cache_dir)),
+        )
+        grid_sweep(
+            trial, grid={"x": [2]}, trials=1,
+            runner=TrialRunner(cache=ResultCache(cache_dir)),
+        )
+        grid_sweep(
+            trial, grid={"x": [1]}, trials=1, base_seed=5,
+            runner=TrialRunner(cache=ResultCache(cache_dir)),
+        )
+        assert len(log) == 3  # every variant computed fresh
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        log = []
+        trial = counting_trial(log)
+        cache_dir = tmp_path / "c"
+        grid_sweep(
+            trial, grid={"x": [1]}, trials=1,
+            runner=TrialRunner(cache=ResultCache(cache_dir)),
+        )
+        # Patch the version binding grid_sweep keys its cache entries on.
+        monkeypatch.setattr("repro.experiments.sweep.__version__", "999.0.0")
+        grid_sweep(
+            trial, grid={"x": [1]}, trials=1,
+            runner=TrialRunner(cache=ResultCache(cache_dir)),
+        )
+        assert len(log) == 2
+
+    def test_corrupted_entry_recomputed_end_to_end(self, tmp_path):
+        log = []
+        trial = counting_trial(log)
+        cache_dir = tmp_path / "c"
+        grid_sweep(
+            trial, grid={"x": [1]}, trials=1,
+            runner=TrialRunner(cache=ResultCache(cache_dir)),
+        )
+        (entry,) = list(cache_dir.glob("*/*.json"))
+        entry.write_text('{"schema": 999}')
+
+        runner = TrialRunner(cache=ResultCache(cache_dir))
+        grid_sweep(trial, grid={"x": [1]}, trials=1, runner=runner)
+        assert len(log) == 2  # recomputed exactly once
+        assert log[0] == log[1]  # with the same derived seed
+        assert runner.telemetry.cache_corrupted == 1
+
+        # The rewritten entry is valid again: a third run computes nothing.
+        third = TrialRunner(cache=ResultCache(cache_dir))
+        grid_sweep(trial, grid={"x": [1]}, trials=1, runner=third)
+        assert len(log) == 2
+        assert third.telemetry.cache_hits == 1
+
+
+class TestEnvelope:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "e.json"
+        save_envelope(path, "benchmark", {"a": 1, "b": [1, 2]})
+        assert load_envelope(path, "benchmark") == {"a": 1, "b": [1, 2]}
+        raw = json.loads(path.read_text())
+        assert raw["schema"] == 1
+        assert raw["kind"] == "benchmark"
+
+    def test_kind_mismatch_raises(self, tmp_path):
+        path = tmp_path / "e.json"
+        save_envelope(path, "benchmark", {"a": 1})
+        with pytest.raises(EnvelopeError):
+            load_envelope(path, "trial-result")
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "e.json"
+        path.write_text('{"schema": 2, "kind": "benchmark", "payload": {}}')
+        with pytest.raises(EnvelopeError):
+            load_envelope(path, "benchmark")
+
+    def test_garbage_raises(self, tmp_path):
+        path = tmp_path / "e.json"
+        path.write_text("not json")
+        with pytest.raises(EnvelopeError):
+            load_envelope(path, "benchmark")
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(EnvelopeError):
+            load_envelope(path, "benchmark")

@@ -4,13 +4,19 @@ import math
 
 import pytest
 
+from repro.exec import canonical_point, derive_trial_seed
 from repro.experiments.sweep import grid_sweep
 
 
+def expected_seeds(params, trials, base_seed=0):
+    """The trial seeds grid_sweep derives for one grid point."""
+    point = canonical_point(params)
+    return [derive_trial_seed(base_seed, point, k) for k in range(trials)]
+
+
 def deterministic_trial(a, b, seed):
-    """A fake observable: linear in params; replicate k (seed = 1000k)
-    shifts it by k/2."""
-    return a * 10 + b + (seed // 1000) * 0.5
+    """A fake observable: linear in the grid params (seed unused)."""
+    return a * 10 + b
 
 
 class TestGridSweep:
@@ -21,17 +27,42 @@ class TestGridSweep:
         combos = [(p.params["a"], p.params["b"]) for p in result.points]
         assert combos == [(1, 0), (1, 5), (2, 0), (2, 5)]
 
-    def test_replication_uses_distinct_seeds(self):
-        result = grid_sweep(
-            deterministic_trial, grid={"a": [1], "b": [0]}, trials=3
+    def test_replication_uses_derived_seeds(self):
+        seen = []
+
+        def trial(a, seed):
+            seen.append(seed)
+            return float(seed % 97)
+
+        grid_sweep(trial, grid={"a": [1]}, trials=3)
+        assert seen == expected_seeds({"a": 1}, 3)
+        assert len(set(seen)) == 3
+
+    def test_base_seed_and_point_feed_the_derivation(self):
+        seen = []
+
+        def trial(a, seed):
+            seen.append(seed)
+            return 0.0
+
+        grid_sweep(trial, grid={"a": [1, 2]}, trials=1, base_seed=7)
+        assert seen == (
+            expected_seeds({"a": 1}, 1, base_seed=7)
+            + expected_seeds({"a": 2}, 1, base_seed=7)
         )
-        point = result.points[0]
-        assert len(point.values) == 3
-        assert len(set(point.values)) == 3  # seeds 0, 1000, 2000 differ
+        # Different points (and different base seeds) get different seeds.
+        assert seen[0] != seen[1]
+        assert seen != [
+            s for p in ({"a": 1}, {"a": 2}) for s in expected_seeds(p, 1)
+        ]
 
     def test_mean_and_stdev(self):
+        values = {
+            seed: 10.0 + k
+            for k, seed in enumerate(expected_seeds({"x": 10}, 3))
+        }
         result = grid_sweep(
-            lambda x, seed: x + (seed // 1000), grid={"x": [10]}, trials=3
+            lambda x, seed: values[seed], grid={"x": [10]}, trials=3
         )
         point = result.point(x=10)
         assert point.mean == pytest.approx(11.0)  # values 10, 11, 12
@@ -46,9 +77,14 @@ class TestGridSweep:
             result.point(a=99)
 
     def test_series_extraction(self):
-        result = grid_sweep(
-            deterministic_trial, grid={"a": [1, 2, 3], "b": [0, 1]}, trials=2
-        )
+        def trial(a, b, seed):
+            point = canonical_point({"a": a, "b": b})
+            k = next(
+                i for i in range(2) if derive_trial_seed(0, point, i) == seed
+            )
+            return a * 10 + b + 0.5 * k
+
+        result = grid_sweep(trial, grid={"a": [1, 2, 3], "b": [0, 1]}, trials=2)
         series = result.series("a", b=1)
         assert series.x == [1, 2, 3]
         # replicates at +0 and +0.5 -> mean +0.25
@@ -60,7 +96,7 @@ class TestGridSweep:
 
         def flaky(x, seed):
             calls.append(seed)
-            return float("nan") if seed == 0 else 5.0
+            return float("nan") if len(calls) == 1 else 5.0
 
         result = grid_sweep(flaky, grid={"x": [1]}, trials=2)
         assert result.mean(x=1) == 5.0
