@@ -2,11 +2,19 @@
 
 Not a paper figure — these time the building blocks so performance
 regressions in the simulator or codec are caught: event-queue rate,
-fragmentation/reassembly throughput, selector draw rate, and the
-analytic model's sweep speed.
+fragmentation/reassembly throughput, selector draw rate, the analytic
+model's sweep speed, and the Monte Carlo single-trial path (fast event
+core vs the pre-optimisation implementation, plus horizon-shard
+scaling).  The Monte Carlo benchmark publishes ``micro_throughput``
+(→ ``micro_throughput.txt`` + ``BENCH_micro_throughput.json``), which
+``python -m repro bench-trend`` tracks across runs.
 """
 
+import itertools
 import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
 
 from repro.aff.fragmenter import Fragmenter
 from repro.aff.reassembler import Reassembler
@@ -92,3 +100,263 @@ def test_model_sweep_rate(benchmark):
         return total
 
     assert benchmark(run) > 0
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo single-trial throughput: fast event core + horizon shards
+# ----------------------------------------------------------------------
+# Baseline: a frozen replica of the Monte Carlo path as it stood before
+# the fast event core landed — dict-backed field-equality Transaction,
+# delegating TimeWeightedValue.adjust, and the build-list/double/sort
+# replay.  Embedded here (rather than imported) so the current package
+# can keep improving without dragging the baseline along with it.
+
+_seed_txn_seq = itertools.count(1)
+
+
+@dataclass
+class _SeedTransaction:
+    owner: int
+    identifier: int
+    start: float
+    audience: Optional[frozenset] = None
+    end: Optional[float] = None
+    uid: int = field(default_factory=lambda: next(_seed_txn_seq))
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    def shares_audience(self, other: "_SeedTransaction") -> bool:
+        if self.audience is None or other.audience is None:
+            return True
+        return bool(self.audience & other.audience)
+
+
+class _SeedTimeWeightedValue:
+    def __init__(self, time: float = 0.0, value: float = 0.0):
+        self._start = time
+        self._last_time = time
+        self._value = value
+        self._integral = 0.0
+
+    def set(self, time: float, value: float) -> None:
+        if time < self._last_time:
+            raise ValueError("TimeWeightedValue updates must be time-ordered")
+        self._integral += self._value * (time - self._last_time)
+        self._last_time = time
+        self._value = value
+
+    def adjust(self, time: float, delta: float) -> None:
+        self.set(time, self._value + delta)
+
+    def average(self, now: float) -> float:
+        integral = self._integral + self._value * (now - self._last_time)
+        span = now - self._start
+        return integral / span if span > 0 else self._value
+
+
+class _SeedTransactionLog:
+    def __init__(self) -> None:
+        self._all: List[_SeedTransaction] = []
+        self._open_by_id: Dict[int, List[_SeedTransaction]] = {}
+        self._collided: Set[int] = set()
+        self._density = _SeedTimeWeightedValue()
+        self._last_time = 0.0
+
+    def begin(self, owner, identifier, time, audience=None):
+        txn = _SeedTransaction(
+            owner=owner,
+            identifier=identifier,
+            start=time,
+            audience=frozenset(audience) if audience is not None else None,
+        )
+        for peer in self._open_by_id.get(identifier, ()):
+            if peer.owner != owner and txn.shares_audience(peer):
+                self._collided.add(txn.uid)
+                self._collided.add(peer.uid)
+        self._all.append(txn)
+        self._open_by_id.setdefault(identifier, []).append(txn)
+        self._density.adjust(time, +1)
+        self._last_time = max(self._last_time, time)
+        return txn
+
+    def end(self, txn, time):
+        if not txn.open:
+            raise ValueError("already ended")
+        txn.end = time
+        open_list = self._open_by_id.get(txn.identifier, [])
+        if txn in open_list:
+            open_list.remove(txn)
+            if not open_list:
+                del self._open_by_id[txn.identifier]
+        self._density.adjust(time, -1)
+        self._last_time = max(self._last_time, time)
+
+    def collided(self, txn) -> bool:
+        return txn.uid in self._collided
+
+    def measured_density(self) -> float:
+        return self._density.average(self._last_time)
+
+
+def _seed_simulate(id_bits, arrival_rate, duration_sampler, horizon, rng, warmup=0.0):
+    """The pre-fast-core simulate_collision_rate, verbatim semantics."""
+    space = IdentifierSpace(id_bits)
+    log = _SeedTransactionLog()
+    events = []
+    time = 0.0
+    owner = 0
+    while True:
+        time += rng.expovariate(arrival_rate)
+        if time >= horizon:
+            break
+        duration = duration_sampler(rng)
+        events.append((time, 0, owner, duration))
+        owner += 1
+    stream = []
+    for start, _, who, duration in events:
+        stream.append((start, 1, who, duration))
+        stream.append((start + duration, 0, who, duration))
+    stream.sort(key=lambda e: (e[0], e[1]))
+
+    open_txns = {}
+    tracked = []
+    for when, kind, who, duration in stream:
+        if kind == 1:
+            txn = log.begin(owner=who, identifier=space.sample(rng), time=when)
+            open_txns[who] = txn
+            if when >= warmup:
+                tracked.append(txn)
+        else:
+            txn = open_txns.pop(who, None)
+            if txn is not None:
+                log.end(txn, when)
+    collided = sum(1 for t in tracked if log.collided(t))
+    return len(tracked), collided / len(tracked), log.measured_density()
+
+
+_MC_ID_BITS = 10
+_MC_RATE = 12.0
+_MC_HORIZON = 2000.0
+_MC_SEED = 9
+_MC_SHARDS = 4
+
+
+def _best_of(fn, repeats=3):
+    """(best_wall_seconds, last_result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = _time.perf_counter()
+        result = fn()
+        wall = _time.perf_counter() - t0
+        if wall < best:
+            best = wall
+    return best, result
+
+
+def test_montecarlo_trial_throughput(benchmark, publish):
+    """Fast event core vs the pre-change baseline, plus shard scaling.
+
+    Three measurements on one long-horizon trial (~24k transactions):
+
+    * the frozen pre-optimisation implementation above;
+    * the current fast event core (also timed by pytest-benchmark, so
+      its mean feeds ``bench-trend``) — asserted bit-identical to the
+      baseline;
+    * the sharded path at ``shards=4`` with ``workers=1``, giving
+      honest isolated per-segment walls on any machine; the projected
+      speedup is the critical path ``serial / (slowest segment +
+      stitch overhead)``, i.e. what ``shards`` workers achieve when
+      each segment really gets its own core.
+    """
+    from repro.core.montecarlo import ExponentialDuration, simulate_collision_rate
+    from repro.exec import TrialRunner
+
+    sampler = ExponentialDuration(1.0)
+
+    def run_seed():
+        return _seed_simulate(
+            _MC_ID_BITS, _MC_RATE, sampler, _MC_HORIZON, random.Random(_MC_SEED)
+        )
+
+    def run_fast():
+        r = simulate_collision_rate(
+            _MC_ID_BITS, _MC_RATE, sampler, horizon=_MC_HORIZON, seed=_MC_SEED
+        )
+        return r.transactions, r.collision_rate, r.measured_density
+
+    seed_wall, seed_result = _best_of(run_seed)
+    fast_wall, fast_result = _best_of(run_fast)
+    assert fast_result == seed_result, "fast core must be bit-identical"
+    speedup = seed_wall / fast_wall
+
+    def run_sharded():
+        runner = TrialRunner(workers=1)
+        r = simulate_collision_rate(
+            _MC_ID_BITS,
+            _MC_RATE,
+            sampler,
+            horizon=_MC_HORIZON,
+            seed=_MC_SEED,
+            shards=_MC_SHARDS,
+            runner=runner,
+        )
+        return (r.transactions, r.collision_rate, r.measured_density), runner
+
+    best_sharded = float("inf")
+    segs: Dict[str, float] = {}
+    sharded_result = None
+    for _ in range(3):
+        t0 = _time.perf_counter()
+        result, runner = run_sharded()
+        wall = _time.perf_counter() - t0
+        if sharded_result is None:
+            sharded_result = result
+        assert result == sharded_result, "sharded result must be deterministic"
+        if wall < best_sharded:
+            best_sharded = wall
+            segs = runner.last_telemetry.shard_timings()
+
+    seg_walls = sorted(segs.values())
+    overhead = best_sharded - sum(seg_walls)
+    projected = fast_wall / (max(seg_walls) + overhead)
+
+    # timing stream for bench-trend: the fast core, measured properly
+    bench_result = benchmark(run_fast)
+    assert bench_result == seed_result
+
+    lines = [
+        "Monte Carlo single-trial throughput "
+        f"(id_bits={_MC_ID_BITS}, rate={_MC_RATE}, horizon={_MC_HORIZON}, "
+        f"seed={_MC_SEED}, ~{seed_result[0]} transactions)",
+        f"  pre-change baseline : {seed_wall * 1000:8.1f} ms",
+        f"  fast event core     : {fast_wall * 1000:8.1f} ms  "
+        f"({speedup:.2f}x, bit-identical)",
+        f"  shards={_MC_SHARDS} (workers=1): {best_sharded * 1000:8.1f} ms wall, "
+        f"segments {[round(s * 1000, 1) for s in seg_walls]} ms, "
+        f"stitch overhead {overhead * 1000:.1f} ms",
+        f"  projected speedup at {_MC_SHARDS} cores: {projected:.2f}x "
+        "(serial / (slowest segment + overhead))",
+    ]
+    publish(
+        "micro_throughput",
+        "\n".join(lines),
+        metrics={
+            "transactions": seed_result[0],
+            "collision_rate": seed_result[1],
+            "seed_wall": seed_wall,
+            "fast_wall": fast_wall,
+            "fast_core_speedup": speedup,
+            "sharded_wall": best_sharded,
+            "shard_segment_walls": seg_walls,
+            "shard_overhead": overhead,
+            "projected_shard_speedup": projected,
+            "shards": _MC_SHARDS,
+        },
+    )
+    assert speedup >= 1.3, f"fast core speedup {speedup:.2f}x below the 1.3x floor"
+    assert projected >= 2.5, (
+        f"projected shard speedup {projected:.2f}x below the 2.5x floor"
+    )

@@ -17,16 +17,19 @@ DET004    wall-clock reads (``time.time()``, ``datetime.now()``, ...)
 DET005    iteration over bare ``set`` expressions in simulation code —
           order varies with hash seeding and insertion history
 DET006    ad-hoc process management (``multiprocessing``, ``os.fork``,
-          ``ProcessPoolExecutor``) outside :mod:`repro.exec` — sidesteps
-          the deterministic sharding and transport-encoding contract
+          ``ProcessPoolExecutor``) outside the execution layer's two
+          licensed modules — sidesteps the deterministic sharding and
+          transport-encoding contract
 ========  ==========================================================
 
 DET004/DET005 are scoped by path: DET004 to the simulation-facing
 packages (``sim``, ``core``, ``radio``, ``aff``, ``apps``,
 ``topology``), DET005 to the kernel packages (``sim``, ``core``,
 ``radio``) where event order feeds directly into results.  DET006 is
-the inverse: it fires everywhere *except* under an ``exec`` path
-component, the one package licensed to fork workers.
+the inverse: it fires everywhere *except* the explicit allowlist of
+process-managing modules under an ``exec`` path component —
+``runner.py`` (per-run forked workers) and ``pool.py`` (the persistent
+worker pool).  Other ``exec`` modules get no waiver.
 """
 
 from __future__ import annotations
@@ -303,10 +306,14 @@ class ProcessSpawnRule(Rule):
 
     _OS_FORK_FUNCS = frozenset({"fork", "forkpty"})
 
+    #: The only modules licensed to manage processes: the per-run fork
+    #: path and the persistent worker pool.  An explicit allowlist, not
+    #: a package-wide waiver — new modules under ``exec`` (keys, cache,
+    #: telemetry, ...) must not fork either.
+    ALLOWED_MODULES = frozenset({"runner.py", "pool.py"})
+
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        # repro.exec is the one package licensed to manage processes:
-        # it owns the deterministic-sharding and transport contract.
-        if ctx.in_packages({"exec"}):
+        if ctx.in_packages({"exec"}) and ctx.path.name in self.ALLOWED_MODULES:
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):

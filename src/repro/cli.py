@@ -28,7 +28,7 @@ import sys
 from typing import Optional, Sequence
 
 from .core import model
-from .exec import ResultCache, TrialRunner
+from .exec import ResultCache, TrialRunner, WorkerPool
 from .experiments import figures as figs
 
 from .experiments.plotting import render_series
@@ -59,17 +59,32 @@ def _add_exec_flags(sub: argparse.ArgumentParser, default_cache: Optional[str] =
         help="write run telemetry (timings, cache traffic, worker "
         "utilization) as JSON to PATH",
     )
+    group.add_argument(
+        "--pool", dest="pool", action="store_true", default=False,
+        help="serve trials from a persistent worker pool (reused across "
+        "the command's runs; results are identical either way)",
+    )
+    group.add_argument(
+        "--no-pool", dest="pool", action="store_false",
+        help="force per-run forked workers (the default)",
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> TrialRunner:
     cache = None
     if getattr(args, "cache_dir", None) and not getattr(args, "no_cache", False):
         cache = ResultCache(args.cache_dir)
-    return TrialRunner(workers=getattr(args, "workers", 1), cache=cache)
+    pool = None
+    workers = getattr(args, "workers", 1)
+    if getattr(args, "pool", False):
+        pool = WorkerPool(workers=max(2, workers))
+    return TrialRunner(workers=workers, cache=cache, pool=pool)
 
 
 def _finish_exec(runner: TrialRunner, args: argparse.Namespace) -> None:
     """Print the one-line execution summary; persist telemetry if asked."""
+    if runner.pool is not None:
+        runner.pool.close()
     telemetry = runner.telemetry
     if telemetry.trials:
         print(telemetry.render(), file=sys.stderr)
@@ -261,6 +276,90 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    from .core.montecarlo import (
+        ExponentialDuration,
+        FixedDuration,
+        replicate_collision_rate,
+    )
+
+    sampler = (
+        FixedDuration(args.mean_duration)
+        if args.fixed_duration
+        else ExponentialDuration(args.mean_duration)
+    )
+    runner = _make_runner(args)
+    mean, stdev, results = replicate_collision_rate(
+        args.id_bits,
+        args.rate,
+        sampler,
+        trials=args.trials,
+        base_seed=args.seed,
+        horizon=args.horizon,
+        warmup=args.warmup,
+        runner=runner,
+        shards=args.shards,
+    )
+    density = args.rate * args.mean_duration
+    table = Table(
+        f"Monte Carlo: H={args.id_bits} bits, lambda={args.rate}/s, "
+        f"horizon={args.horizon:.0f}s x {args.trials} trial(s), "
+        f"shards={args.shards}",
+        ["quantity", "value"],
+    )
+    table.add_row("model P(collision), T=lambda*d", float(
+        model.collision_probability(args.id_bits, max(density, 1.0))
+    ))
+    table.add_row("simulated collision rate (mean)", mean)
+    table.add_row("simulated collision rate (stdev)", stdev)
+    if results:
+        table.add_row("transactions per trial", results[0].transactions)
+        table.add_row("measured density", results[0].measured_density)
+    print(table.render())
+    _finish_exec(runner, args)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.disk_stats()
+        table = Table(f"result cache at {stats['root']}", ["quantity", "value"])
+        table.add_row("entries", stats["entries"])
+        table.add_row("bytes", stats["bytes"])
+        for version, count in stats["versions"].items():
+            table.add_row(f"entries written by {version}", count)
+        print(table.render())
+    elif args.action == "gc":
+        # --keep-current is the only (and default) policy: entries
+        # written by any other version are unreachable by construction.
+        removed = cache.gc()
+        print(f"cache gc: removed {removed} entr{'y' if removed == 1 else 'ies'}")
+    elif args.action == "purge":
+        removed = cache.purge()
+        print(f"cache purge: removed {removed} entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .experiments import trend
+
+    results = pathlib.Path(args.results)
+    history = (
+        pathlib.Path(args.history)
+        if args.history
+        else results / trend.HISTORY_NAME
+    )
+    if args.record:
+        recorded = trend.record_snapshot(results, history)
+        print(f"recorded {recorded} benchmark(s) into {history}", file=sys.stderr)
+    report = trend.analyze(trend.load_history(history), threshold=args.threshold)
+    print(report.render())
+    return 1 if report.regressions else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -327,6 +426,57 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--seed", type=int, default=0)
     _add_exec_flags(swp)
     swp.set_defaults(func=_cmd_sweep)
+
+    mc = sub.add_parser(
+        "montecarlo",
+        help="ground-truth collision trial (optionally horizon-sharded)",
+    )
+    mc.add_argument("--id-bits", type=int, default=8)
+    mc.add_argument("--rate", type=float, default=5.0,
+                    help="Poisson arrival rate (transactions/second)")
+    mc.add_argument("--horizon", type=float, default=1000.0)
+    mc.add_argument("--warmup", type=float, default=0.0)
+    mc.add_argument("--mean-duration", type=float, default=1.0)
+    mc.add_argument("--fixed-duration", action="store_true",
+                    help="constant durations (paper's same-length case) "
+                    "instead of exponential")
+    mc.add_argument("--trials", type=int, default=2)
+    mc.add_argument("--seed", type=int, default=0)
+    mc.add_argument("--shards", type=int, default=1,
+                    help="split each trial's horizon into this many "
+                    "derived-seed time segments (results depend on "
+                    "(seed, shards) only; see docs/parallel.md)")
+    _add_exec_flags(mc)
+    mc.set_defaults(func=_cmd_montecarlo)
+
+    cch = sub.add_parser("cache", help="inspect or clean the result cache")
+    cch.add_argument("action", choices=("stats", "gc", "purge"))
+    cch.add_argument("--cache-dir", default=".repro-cache", metavar="DIR")
+    cch.add_argument(
+        "--keep-current", action="store_true",
+        help="gc policy: keep only entries written by the current "
+        "repro version (the default and only policy)",
+    )
+    cch.set_defaults(func=_cmd_cache)
+
+    trd = sub.add_parser(
+        "bench-trend",
+        help="compare accumulated BENCH_*.json timings, flag regressions",
+    )
+    trd.add_argument("--results", default="benchmarks/results",
+                     help="directory holding BENCH_*.json envelopes")
+    trd.add_argument("--history", default=None,
+                     help="JSONL history file (default: TREND.jsonl "
+                     "under --results)")
+    trd.add_argument("--threshold", type=float, default=0.25,
+                     help="relative slowdown flagged as a regression")
+    trd.add_argument("--record", dest="record", action="store_true",
+                     default=True,
+                     help="append the current BENCH files to the history "
+                     "before comparing (default)")
+    trd.add_argument("--no-record", dest="record", action="store_false",
+                     help="compare the existing history only")
+    trd.set_defaults(func=_cmd_bench_trend)
 
     return parser
 

@@ -7,26 +7,77 @@ the paper's model uses ("unique with respect to all other transactions
 ... for the entire duration").  Used to check Eq. 4 and the
 mixed-duration extension (:func:`repro.core.model.p_success_mixed`)
 against brute-force truth.
+
+Two execution strategies share one event core:
+
+* ``shards=1`` (default) replays the whole horizon in-process with a
+  single merge of the time-ordered arrival stream against a min-heap of
+  pending end events — no materialised begin/end stream, no global
+  sort.  It is bit-for-bit identical to the historical
+  build-list/double/sort pipeline (kept as
+  :func:`_simulate_collision_rate_reference` for equivalence tests and
+  benchmarking).
+* ``shards=N`` splits ``[0, horizon)`` into ``N`` time segments, each
+  generating arrivals from an independent stream seeded with
+  ``derive_seed(seed, f"segment:{i}")`` and replaying locally; the
+  parent then stitches segment boundaries by replaying every carried
+  (boundary-crossing) transaction against later segments' arrivals, so
+  cross-boundary collisions are counted exactly once.  Results are a
+  pure function of ``(seed, shards)``; segments fan out across a
+  :class:`repro.exec.TrialRunner`'s workers when one is passed.
+
+See ``docs/parallel.md`` for the sharding determinism contract.
 """
 
 from __future__ import annotations
 
+import base64
+import bisect
+import heapq
 import math
 import random
+import struct
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim.rng import fallback_stream
 from .identifiers import IdentifierSpace
 from .transactions import TransactionLog
 
 __all__ = [
+    "ExponentialDuration",
+    "FixedDuration",
     "MonteCarloResult",
     "replicate_collision_rate",
     "simulate_collision_rate",
 ]
 
 DurationSampler = Callable[[random.Random], float]
+
+
+@dataclass(frozen=True)
+class FixedDuration:
+    """Constant-duration sampler (the paper's same-length assumption).
+
+    A frozen dataclass rather than a lambda so the sampler has a stable
+    canonical form (its field dict) for cache keys and can cross the
+    worker-pool's JSON task transport.
+    """
+
+    seconds: float = 1.0
+
+    def __call__(self, rng: random.Random) -> float:
+        return self.seconds
+
+
+@dataclass(frozen=True)
+class ExponentialDuration:
+    """Exponentially distributed durations with the given mean."""
+
+    mean: float = 1.0
+
+    def __call__(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
 
 
 @dataclass
@@ -38,7 +89,86 @@ class MonteCarloResult:
     measured_density: float
 
 
-def simulate_collision_rate(
+# ----------------------------------------------------------------------
+# The event core
+# ----------------------------------------------------------------------
+def _generate_arrivals(
+    arrival_rate: float,
+    duration_sampler: DurationSampler,
+    rng: random.Random,
+    start: float,
+    stop: float,
+) -> Tuple[List[float], List[float]]:
+    """Poisson arrivals in ``[start, stop)``: ``(start_times, durations)``.
+
+    Draw order (inter-arrival gap, then duration, repeated) is part of
+    the determinism contract — reordering it re-rolls every recorded
+    experiment.
+    """
+    starts: List[float] = []
+    durations: List[float] = []
+    expovariate = rng.expovariate
+    time = start
+    while True:
+        time += expovariate(arrival_rate)
+        if time >= stop:
+            break
+        duration = duration_sampler(rng)
+        if duration < 0:
+            raise ValueError("duration sampler returned a negative duration")
+        starts.append(time)
+        durations.append(duration)
+    return starts, durations
+
+
+def _replay(
+    starts: Sequence[float],
+    durations: Sequence[float],
+    identifiers: Sequence[int],
+    log: TransactionLog,
+    warmup: float,
+) -> list:
+    """Replay arrivals against ``log``: the fast event core.
+
+    A single merge of the (already time-ordered) arrival stream against
+    a min-heap of pending end events.  Ends at exactly a begin's
+    timestamp are processed first — a finished transaction no longer
+    contends — and end-time ties break by arrival order, matching the
+    stable ``(time, kind)`` sort of the historical pipeline.  Collision
+    detection itself stays in :meth:`TransactionLog.begin`, whose
+    open-by-identifier index makes each begin O(open transactions with
+    that identifier).
+
+    Returns the transactions that started at or after ``warmup``.
+    """
+    tracked = []
+    track = tracked.append
+    pending: List[tuple] = []  # (end_time, arrival_seq, txn)
+    push, pop = heapq.heappush, heapq.heappop
+    begin, end = log.begin, log.end
+    inf = float("inf")
+    next_end = inf  # cached pending[0][0]: one float compare per arrival
+    seq = 0
+    for when, duration, ident in zip(starts, durations, identifiers):
+        while next_end <= when:
+            ended = pop(pending)
+            end(ended[2], ended[0])
+            next_end = pending[0][0] if pending else inf
+        txn = begin(seq, ident, when)
+        ends_at = when + duration
+        push(pending, (ends_at, seq, txn))
+        if ends_at < next_end:
+            next_end = ends_at
+        if when >= warmup:
+            track(txn)
+        seq += 1
+    while pending:
+        ended = pop(pending)
+        end(ended[2], ended[0])
+    return tracked
+
+
+def _simulate_collision_rate_reference(
     id_bits: int,
     arrival_rate: float,
     duration_sampler: DurationSampler,
@@ -46,28 +176,10 @@ def simulate_collision_rate(
     rng: Optional[random.Random] = None,
     warmup: float = 0.0,
 ) -> MonteCarloResult:
-    """Ground-truth collision rate under Poisson arrivals.
+    """The historical build-list/double/sort pipeline, kept verbatim.
 
-    Parameters
-    ----------
-    id_bits:
-        Identifier space size ``H``.
-    arrival_rate:
-        Poisson arrival rate λ (transactions/second), network-wide as
-        seen at one point.
-    duration_sampler:
-        ``rng -> duration``; e.g. ``lambda r: 1.0`` for the paper's
-        same-length assumption, or an exponential/bimodal sampler for
-        the mixed-length extension.
-    horizon:
-        Simulated seconds of arrivals.
-    warmup:
-        Transactions starting before this time are excluded from the
-        rate (edge effects: early transactions see a half-empty world).
-
-    Each transaction gets a fresh owner id, so same-owner reuse (which
-    the ground-truth log exempts) never occurs — matching the model's
-    assumption of distinct contending nodes.
+    The fast event core must stay bit-identical to this; equivalence
+    tests and ``benchmarks/test_micro_throughput.py`` both replay it.
     """
     if arrival_rate <= 0:
         raise ValueError("arrival_rate must be positive")
@@ -77,7 +189,6 @@ def simulate_collision_rate(
     space = IdentifierSpace(id_bits)
     log = TransactionLog()
 
-    # Generate arrivals, then replay begin/end events in time order.
     events = []  # (time, kind, txn_record)
     time = 0.0
     owner = 0
@@ -90,8 +201,6 @@ def simulate_collision_rate(
             raise ValueError("duration sampler returned a negative duration")
         events.append((time, 0, owner, duration))
         owner += 1
-    # Interleave ends: build a single sorted stream (ends before begins
-    # at exact ties, as a finished transaction no longer contends).
     stream = []
     for start, _, who, duration in events:
         stream.append((start, 1, who, duration))
@@ -125,6 +234,329 @@ def simulate_collision_rate(
     )
 
 
+# ----------------------------------------------------------------------
+# Horizon sharding
+# ----------------------------------------------------------------------
+def _pack_floats(values: Sequence[float]) -> str:
+    """Exact, compact transport form of a float list (base64 of f64le).
+
+    Segments return tens of thousands of timestamps; packing them as
+    one string keeps the canonical-JSON transport but makes its cost
+    per-array instead of per-element — and IEEE doubles round-trip
+    bit-exactly, which per-element JSON also guarantees but much more
+    slowly.
+    """
+    return base64.b64encode(struct.pack(f"<{len(values)}d", *values)).decode("ascii")
+
+
+def _unpack_floats(blob: str) -> List[float]:
+    raw = base64.b64decode(blob.encode("ascii"))
+    return list(struct.unpack(f"<{len(raw) // 8}d", raw))
+
+
+def _segment_bounds(horizon: float, shards: int, index: int) -> Tuple[float, float]:
+    """Segment ``index``'s half-open time window ``[lo, hi)``."""
+    return (horizon * index) / shards, (horizon * (index + 1)) / shards
+
+
+def _montecarlo_segment(
+    id_bits: int,
+    arrival_rate: float,
+    duration_sampler: DurationSampler,
+    horizon: float,
+    shards: int,
+    index: int,
+    seed: int,
+) -> Dict[str, object]:
+    """Generate and locally replay one horizon segment.
+
+    Runs from its own derived stream (``derive_seed(seed,
+    f"segment:{index}")``, derived by the caller), so segments are
+    independent of each other and of how many workers computed them.
+    Returns a JSON-transportable summary: packed start times and
+    identifiers, the indices flagged by the *local* replay, the
+    boundary-crossing tail, and density aggregates.  Cross-segment
+    collisions are the parent's stitching job.
+    """
+    rng = random.Random(seed)
+    lo, hi = _segment_bounds(horizon, shards, index)
+    space = IdentifierSpace(id_bits)
+    starts, durations = _generate_arrivals(
+        arrival_rate, duration_sampler, rng, lo, hi
+    )
+    sample = space.sample
+    identifiers = [sample(rng) for _ in starts]
+    log = TransactionLog()
+    _replay(starts, durations, identifiers, log, warmup=0.0)
+    flagged = [
+        seq for seq, txn in enumerate(log.transactions) if log.collided(txn)
+    ]
+    ends = [starts[seq] + durations[seq] for seq in range(len(starts))]
+    # Everything O(n) that the parent would otherwise do per segment is
+    # done here, where segments run in parallel: the boundary-crossing
+    # tail scan and the density aggregates.  Only the (small) tails and
+    # the packed arrays the stitch scan needs travel back.
+    tails = [
+        [ends[seq], identifiers[seq], seq]
+        for seq in range(len(starts))
+        if ends[seq] > hi
+    ]
+    packed_ids: object
+    if id_bits <= 64:
+        packed_ids = base64.b64encode(
+            struct.pack(f"<{len(identifiers)}Q", *identifiers)
+        ).decode("ascii")
+    else:  # pragma: no cover - identifier spaces past 64 bits
+        packed_ids = list(identifiers)
+    return {
+        "n": len(starts),
+        "starts": _pack_floats(starts),
+        "identifiers": packed_ids,
+        "flagged": flagged,
+        "tails": tails,
+        "sum_duration": sum(ends) - sum(starts),
+        "max_end": max(ends) if ends else 0.0,
+    }
+
+
+def _unpack_segment(value: Dict[str, object]) -> Dict[str, object]:
+    """Decode a segment summary back into plain Python arrays."""
+    identifiers = value["identifiers"]
+    if isinstance(identifiers, str):
+        raw = base64.b64decode(identifiers.encode("ascii"))
+        identifiers = list(struct.unpack(f"<{len(raw) // 8}Q", raw))
+    return {
+        "starts": _unpack_floats(value["starts"]),  # type: ignore[arg-type]
+        "identifiers": identifiers,
+        "flagged": set(value["flagged"]),  # type: ignore[arg-type]
+        "tails": value["tails"],
+        "sum_duration": value["sum_duration"],
+        "max_end": value["max_end"],
+    }
+
+
+def _stitch_segments(segments: List[Dict[str, object]], cuts: Sequence[float]) -> None:
+    """Flag cross-boundary collisions, mutating segment ``flagged`` sets.
+
+    The boundary-stitch rule: every transaction still open at a cut is
+    *carried* into later segments; a carried transaction and a later
+    arrival collide iff they share an identifier and the carry is still
+    open when the arrival begins (``carry.end > arrival.start`` — an
+    end at exactly the begin's timestamp does not contend, matching the
+    replay's tie rule).  Both parties are flagged; flags are sets, so a
+    transaction already flagged by its local replay is counted exactly
+    once.  Owner checks are unnecessary: every transaction has a fresh
+    owner, so cross-segment pairs are always distinct nodes.
+
+    Exact by construction: an overlapping pair either begins in the
+    same segment (caught by that segment's local replay) or spans the
+    cut between their segments (so the earlier one is in the carry set
+    when the later one begins).
+    """
+    live: List[tuple] = []  # (end, identifier, segment, index), heap by end
+    for seg_index, segment in enumerate(segments):
+        starts = segment["starts"]
+        identifiers = segment["identifiers"]
+        flagged = segment["flagged"]
+        if live:
+            for k in range(len(starts)):  # type: ignore[arg-type]
+                when = starts[k]  # type: ignore[index]
+                while live and live[0][0] <= when:
+                    heapq.heappop(live)
+                if not live:
+                    break
+                ident = identifiers[k]  # type: ignore[index]
+                for _, carry_ident, carry_seg, carry_idx in live:
+                    if carry_ident == ident:
+                        segments[carry_seg]["flagged"].add(carry_idx)  # type: ignore[union-attr]
+                        flagged.add(k)  # type: ignore[union-attr]
+        if seg_index + 1 < len(segments):
+            next_cut = cuts[seg_index + 1]
+            live = [carry for carry in live if carry[0] > next_cut]
+            # The segment pre-computed its own boundary-crossing tail
+            # (``end > its upper cut``), so extending the carry set is
+            # O(tail), not O(segment).
+            for end, ident, k in segment["tails"]:  # type: ignore[union-attr]
+                live.append((end, ident, seg_index, k))
+            heapq.heapify(live)
+
+
+def _simulate_sharded(
+    id_bits: int,
+    arrival_rate: float,
+    duration_sampler: DurationSampler,
+    horizon: float,
+    warmup: float,
+    seed: int,
+    shards: int,
+    runner,
+) -> MonteCarloResult:
+    """Sharded trial: fan segments out, stitch boundaries, aggregate."""
+    from ..exec import ExecError, TrialRunner, TrialSpec
+    from ..exec.keys import segment_seed
+
+    runner = runner if runner is not None else TrialRunner()
+    specs = [
+        TrialSpec(
+            fn=_montecarlo_segment,
+            kwargs=dict(
+                id_bits=id_bits,
+                arrival_rate=arrival_rate,
+                duration_sampler=duration_sampler,
+                horizon=horizon,
+                shards=shards,
+                index=index,
+                seed=segment_seed(seed, index),
+            ),
+            label=f"segment:{index}",
+        )
+        for index in range(shards)
+    ]
+    outcomes = runner.run(specs)
+    failed = [o.failure for o in outcomes if not o.ok]
+    if failed:
+        raise ExecError(
+            f"sharded trial lost {len(failed)}/{shards} segments; "
+            f"first: {failed[0].render() if failed[0] else 'unknown'}"
+        )
+    segments = [_unpack_segment(outcome.value) for outcome in outcomes]
+    cuts = [(horizon * index) / shards for index in range(shards + 1)]
+    _stitch_segments(segments, cuts)
+
+    # Aggregate from the segments' pre-computed sums/maxima — a Python
+    # per-transaction loop here would eat the latency the sharding just
+    # saved, and even C-level re-sums would redo work the workers
+    # already did in parallel.
+    tracked = 0
+    collided = 0
+    duration_sum = 0.0
+    last_time = 0.0
+    for segment in segments:
+        starts = segment["starts"]
+        flagged = segment["flagged"]
+        if not starts:
+            continue
+        duration_sum += segment["sum_duration"]  # type: ignore[operator]
+        last_time = max(last_time, segment["max_end"])  # type: ignore[type-var]
+        first = bisect.bisect_left(starts, warmup) if warmup > 0 else 0
+        tracked += len(starts) - first  # type: ignore[arg-type]
+        if first == 0:
+            collided += len(flagged)  # type: ignore[arg-type]
+        else:
+            collided += sum(1 for k in flagged if k >= first)  # type: ignore[union-attr]
+    density = duration_sum / last_time if last_time > 0 else 0.0
+    if not tracked:
+        return MonteCarloResult(
+            transactions=0, collision_rate=float("nan"), measured_density=density
+        )
+    return MonteCarloResult(
+        transactions=tracked,
+        collision_rate=collided / tracked,
+        measured_density=density,
+    )
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def simulate_collision_rate(
+    id_bits: int,
+    arrival_rate: float,
+    duration_sampler: DurationSampler,
+    horizon: float = 1000.0,
+    rng: Optional[random.Random] = None,
+    warmup: float = 0.0,
+    shards: int = 1,
+    seed: Optional[int] = None,
+    runner=None,
+) -> MonteCarloResult:
+    """Ground-truth collision rate under Poisson arrivals.
+
+    Parameters
+    ----------
+    id_bits:
+        Identifier space size ``H``.
+    arrival_rate:
+        Poisson arrival rate λ (transactions/second), network-wide as
+        seen at one point.
+    duration_sampler:
+        ``rng -> duration``; e.g. :class:`FixedDuration` for the
+        paper's same-length assumption, or :class:`ExponentialDuration`
+        / a bimodal sampler for the mixed-length extension.
+    horizon:
+        Simulated seconds of arrivals.
+    warmup:
+        Transactions starting before this time are excluded from the
+        rate (edge effects: early transactions see a half-empty world).
+    shards:
+        Time segments to split the horizon into.  ``1`` replays the
+        whole horizon from ``rng`` (or ``random.Random(seed)``),
+        bit-identically to every release since the sampler existed.
+        ``shards > 1`` requires ``seed`` (per-segment streams are
+        derived from it; passing ``rng`` is an error because a shared
+        stream cannot be split) and produces results that are a pure
+        function of ``(seed, shards)``.
+    runner:
+        Optional :class:`repro.exec.TrialRunner`; with ``shards > 1``
+        segments fan out across its workers.  Worker count never
+        changes the result.
+
+    Each transaction gets a fresh owner id, so same-owner reuse (which
+    the ground-truth log exempts) never occurs — matching the model's
+    assumption of distinct contending nodes.
+    """
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if shards > 1:
+        if rng is not None:
+            raise ValueError(
+                "pass seed=..., not rng=, when shards > 1: per-segment "
+                "streams are derived from the seed"
+            )
+        if seed is None:
+            raise ValueError("shards > 1 requires seed=")
+        return _simulate_sharded(
+            id_bits,
+            arrival_rate,
+            duration_sampler,
+            horizon,
+            warmup,
+            seed,
+            shards,
+            runner,
+        )
+
+    if rng is None:
+        rng = random.Random(seed) if seed is not None else fallback_stream(
+            "core.montecarlo"
+        )
+    space = IdentifierSpace(id_bits)
+    log = TransactionLog()
+    starts, durations = _generate_arrivals(
+        arrival_rate, duration_sampler, rng, 0.0, horizon
+    )
+    sample = space.sample
+    identifiers = [sample(rng) for _ in starts]
+    tracked = _replay(starts, durations, identifiers, log, warmup)
+
+    if not tracked:
+        return MonteCarloResult(
+            transactions=0,
+            collision_rate=float("nan"),
+            measured_density=log.measured_density(),
+        )
+    collided = sum(1 for t in tracked if log.collided(t))
+    return MonteCarloResult(
+        transactions=len(tracked),
+        collision_rate=collided / len(tracked),
+        measured_density=log.measured_density(),
+    )
+
+
 def _montecarlo_trial(
     id_bits: int,
     arrival_rate: float,
@@ -132,6 +564,7 @@ def _montecarlo_trial(
     horizon: float,
     warmup: float,
     seed: int,
+    shards: int = 1,
 ) -> dict:
     """One seeded Monte Carlo replicate, as a JSON-safe dict."""
     result = simulate_collision_rate(
@@ -139,8 +572,9 @@ def _montecarlo_trial(
         arrival_rate,
         duration_sampler,
         horizon=horizon,
-        rng=random.Random(seed),
         warmup=warmup,
+        seed=seed,
+        shards=shards,
     )
     return {
         "transactions": result.transactions,
@@ -158,6 +592,7 @@ def replicate_collision_rate(
     horizon: float = 1000.0,
     warmup: float = 0.0,
     runner=None,
+    shards: int = 1,
 ) -> Tuple[float, float, List[MonteCarloResult]]:
     """Replicated Monte Carlo: ``(mean, stddev, results)`` over seeds.
 
@@ -167,36 +602,64 @@ def replicate_collision_rate(
     :class:`repro.exec.TrialRunner`'s workers.  Empty replicates (NaN
     collision rate) are excluded from the aggregate, mirroring
     :func:`repro.experiments.results.aggregate_trials`.
+
+    ``shards`` splits each replicate's horizon into derived-seed time
+    segments (see :func:`simulate_collision_rate`).  It is folded into
+    the canonical point — and therefore into derived seeds and cache
+    keys — only when it differs from 1, so ``shards=1`` replays are
+    bit-identical to runs recorded before sharding existed.
     """
-    from ..exec import TrialRunner, TrialSpec, canonical_point, derive_trial_seed
+    from .. import __version__
+    from ..exec import (
+        TrialRunner,
+        TrialSpec,
+        canonical_point,
+        derive_trial_seed,
+        trial_key,
+    )
 
     if trials < 1:
         raise ValueError("need at least one trial")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     runner = runner if runner is not None else TrialRunner()
-    point = canonical_point(
-        {
-            "id_bits": id_bits,
-            "arrival_rate": arrival_rate,
-            "duration_sampler": duration_sampler,
-            "horizon": horizon,
-            "warmup": warmup,
-        }
-    )
-    specs = [
-        TrialSpec(
-            fn=_montecarlo_trial,
-            kwargs=dict(
-                id_bits=id_bits,
-                arrival_rate=arrival_rate,
-                duration_sampler=duration_sampler,
-                horizon=horizon,
-                warmup=warmup,
-                seed=derive_trial_seed(base_seed, point, k),
-            ),
-            label=f"montecarlo#{k}",
+    point_params = {
+        "id_bits": id_bits,
+        "arrival_rate": arrival_rate,
+        "duration_sampler": duration_sampler,
+        "horizon": horizon,
+        "warmup": warmup,
+    }
+    if shards != 1:
+        point_params["shards"] = shards
+    point = canonical_point(point_params)
+    specs = []
+    for k in range(trials):
+        seed = derive_trial_seed(base_seed, point, k)
+        key = None
+        if runner.cache is not None:
+            key = trial_key(
+                "repro.core.montecarlo.simulate_collision_rate",
+                dict(point_params),
+                seed,
+                __version__,
+            )
+        specs.append(
+            TrialSpec(
+                fn=_montecarlo_trial,
+                kwargs=dict(
+                    id_bits=id_bits,
+                    arrival_rate=arrival_rate,
+                    duration_sampler=duration_sampler,
+                    horizon=horizon,
+                    warmup=warmup,
+                    seed=seed,
+                    shards=shards,
+                ),
+                label=f"montecarlo#{k}",
+                cache_key=key,
+            )
         )
-        for k in range(trials)
-    ]
     outcomes = runner.run(specs)
     results = [
         MonteCarloResult(**outcome.value) for outcome in outcomes if outcome.ok
@@ -211,3 +674,12 @@ def replicate_collision_rate(
     else:
         stdev = 0.0
     return mean, stdev, results
+
+
+# The named samplers may travel as kwargs to persistent pool workers
+# (which reconstruct them by reference); opt them into that transport.
+from ..exec.pool import register_pool_dataclass as _register  # noqa: E402
+
+_register(FixedDuration)
+_register(ExponentialDuration)
+del _register

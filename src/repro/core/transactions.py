@@ -29,9 +29,18 @@ __all__ = ["Transaction", "TransactionLog"]
 _txn_seq = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class Transaction:
-    """One tracked transaction (ground truth, not protocol state)."""
+    """One tracked transaction (ground truth, not protocol state).
+
+    ``slots=True`` matters: Monte Carlo replays allocate one instance
+    per simulated transaction (hundreds of thousands on long horizons),
+    and slotted instances are both smaller and faster to create than
+    ``__dict__``-backed ones.  ``eq=False`` keeps identity comparison:
+    every instance draws a unique ``uid``, so field equality never held
+    between distinct transactions anyway, and the log's open-list
+    removal is an identity scan, not a field-by-field walk.
+    """
 
     owner: int
     identifier: int
@@ -101,30 +110,37 @@ class TransactionLog:
             start=time,
             audience=frozenset(audience) if audience is not None else None,
         )
-        for peer in self._open_by_id.get(identifier, ()):  # same id, still open
-            if peer.owner != owner and txn.shares_audience(peer):
-                self._collided.add(txn.uid)
-                self._collided.add(peer.uid)
+        open_list = self._open_by_id.get(identifier)
+        if open_list is None:
+            open_list = self._open_by_id[identifier] = []
+        else:
+            collided = self._collided
+            for peer in open_list:  # same id, still open
+                if peer.owner != owner and txn.shares_audience(peer):
+                    collided.add(txn.uid)
+                    collided.add(peer.uid)
         self._all.append(txn)
-        self._open_by_id.setdefault(identifier, []).append(txn)
+        open_list.append(txn)
         self._density.adjust(time, +1)
-        self._last_time = max(self._last_time, time)
+        if time > self._last_time:
+            self._last_time = time
         return txn
 
     def end(self, txn: Transaction, time: float) -> None:
         """Close a transaction at ``time``."""
-        if not txn.open:
+        if txn.end is not None:
             raise ValueError(f"{txn!r} already ended")
         if time < txn.start:
             raise ValueError("transaction cannot end before it starts")
         txn.end = time
-        open_list = self._open_by_id.get(txn.identifier, [])
-        if txn in open_list:
+        open_list = self._open_by_id.get(txn.identifier)
+        if open_list is not None and txn in open_list:
             open_list.remove(txn)
             if not open_list:
                 del self._open_by_id[txn.identifier]
         self._density.adjust(time, -1)
-        self._last_time = max(self._last_time, time)
+        if time > self._last_time:
+            self._last_time = time
 
     # ------------------------------------------------------------------
     # Queries

@@ -20,7 +20,14 @@ contract, and the cache key specification.
 """
 
 from .cache import CacheStats, ResultCache
-from .keys import canonical_point, canonical_value, derive_trial_seed, trial_key
+from .keys import (
+    canonical_point,
+    canonical_value,
+    derive_trial_seed,
+    segment_seed,
+    trial_key,
+)
+from .pool import NotPoolable, WorkerPool, register_pool_dataclass
 from .runner import (
     ExecError,
     TrialFailure,
@@ -34,6 +41,7 @@ from .telemetry import RunTelemetry, TrialRecord
 __all__ = [
     "CacheStats",
     "ExecError",
+    "NotPoolable",
     "ResultCache",
     "RunTelemetry",
     "TrialFailure",
@@ -42,8 +50,11 @@ __all__ = [
     "TrialRunner",
     "TrialSpec",
     "TrialTimeout",
+    "WorkerPool",
     "canonical_point",
     "canonical_value",
     "derive_trial_seed",
+    "register_pool_dataclass",
+    "segment_seed",
     "trial_key",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple, Union
+from typing import Any, Iterator, Optional, Tuple, Union
 
 __all__ = ["CacheStats", "ResultCache"]
 
@@ -82,18 +82,104 @@ class ResultCache:
         return True, value
 
     def put(self, key: str, value: Any, meta: Optional[dict] = None) -> None:
-        """Store a transport-encoded ``value`` under ``key`` (atomic)."""
+        """Store a transport-encoded ``value`` under ``key`` (atomic).
+
+        Every entry is stamped with the writing ``repro.__version__``:
+        keys already incorporate the version, so old-version entries can
+        never be *read* again — the stamp is what lets :meth:`gc` find
+        and drop those orphans.
+        """
+        from .. import __version__
         from ..experiments.persistence import save_envelope
 
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"key": key, "value": value}
-        if meta:
-            payload["meta"] = meta
+        stamped = dict(meta) if meta else {}
+        stamped.setdefault("version", __version__)
+        payload = {"key": key, "value": value, "meta": stamped}
         save_envelope(path, _KIND, payload)
         self.stats.writes += 1
 
     # ------------------------------------------------------------------
+    # Management (python -m repro cache)
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Tuple[pathlib.Path, Optional[str]]]:
+        """Yield ``(path, writer_version)`` for every stored entry.
+
+        ``writer_version`` is None for entries that predate version
+        stamping or cannot be parsed — both are orphans by definition
+        (their keys were minted by some other version's key schema).
+        """
+        from ..experiments.persistence import EnvelopeError, load_envelope
+
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                payload = load_envelope(path, _KIND)
+                version = payload.get("meta", {}).get("version")
+            except (EnvelopeError, OSError):
+                version = None
+            yield path, version if isinstance(version, str) else None
+
+    def disk_stats(self) -> dict:
+        """Entry count, total bytes, and entries-per-writer-version."""
+        count = 0
+        total_bytes = 0
+        versions: dict = {}
+        for path, version in self.entries():
+            count += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+            label = version if version is not None else "(unstamped)"
+            versions[label] = versions.get(label, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": count,
+            "bytes": total_bytes,
+            "versions": dict(sorted(versions.items())),
+        }
+
+    def gc(self, keep_version: Optional[str] = None) -> int:
+        """Drop entries not written by ``keep_version`` (default: current).
+
+        Cache keys fold ``repro.__version__`` in, so entries stamped by
+        any other version are unreachable forever — pure disk waste.
+        Returns the number of entries removed.
+        """
+        if keep_version is None:
+            from .. import __version__ as keep_version  # type: ignore[no-redef]
+        removed = 0
+        for path, version in self.entries():
+            if version != keep_version:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        self._prune_empty_dirs()
+        return removed
+
+    def purge(self) -> int:
+        """Delete every entry.  Returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._prune_empty_dirs()
+        return removed
+
+    def _prune_empty_dirs(self) -> None:
+        for shard in self.root.glob("*"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass
+
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))
 

@@ -51,6 +51,7 @@ __all__ = [
     "TrialTimeout",
     "decode_jsonable",
     "encode_jsonable",
+    "execute_call",
 ]
 
 
@@ -133,15 +134,30 @@ class TrialOutcome:
 # ----------------------------------------------------------------------
 # Per-attempt deadline (SIGALRM; main thread only, no-op elsewhere)
 # ----------------------------------------------------------------------
+def _deadline_unusable(seconds: Optional[float]) -> Optional[str]:
+    """Why a requested deadline cannot be enforced here (None = it can).
+
+    ``signal.setitimer``/``SIGALRM`` only work on the main thread of the
+    main interpreter; calling them elsewhere raises ``ValueError``.  A
+    runner driven from a worker thread therefore degrades to unbounded
+    trials — gracefully, with the reason surfaced in run telemetry
+    rather than a crash.
+    """
+    if seconds is None or seconds <= 0:
+        return None  # no deadline requested, nothing to enforce
+    if not hasattr(signal, "setitimer"):
+        return "timeout requested but signal.setitimer is unavailable"
+    if threading.current_thread() is not threading.main_thread():
+        return (
+            "timeout requested off the main thread; SIGALRM deadlines "
+            "cannot be armed there, trials run unbounded"
+        )
+    return None
+
+
 @contextmanager
 def _deadline(seconds: Optional[float]) -> Iterator[None]:
-    usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "setitimer")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
+    if seconds is None or seconds <= 0 or _deadline_unusable(seconds):
         yield
         return
 
@@ -155,6 +171,62 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# One trial attempt loop, shared by every execution path
+# ----------------------------------------------------------------------
+def execute_call(
+    fn: Callable[..., Any],
+    kwargs: Mapping[str, Any],
+    timeout: Optional[float],
+    retries: int,
+) -> Dict[str, Any]:
+    """Run ``fn(**kwargs)`` with deadline + bounded retry; return a message.
+
+    Messages are plain JSON dicts — the same shape a forked worker or a
+    persistent pool worker ships over its pipe — so the serial path,
+    the per-run fork path, and :class:`repro.exec.pool.WorkerPool` all
+    share one code path from here up.  ``plain`` marks values whose
+    encoded form contains no transport tags, letting the parent skip
+    the Python-level decode walk (a real cost when a sharded trial
+    ships hundreds of kilobytes of packed segment data).
+    """
+    attempts = 0
+    skipped = _deadline_unusable(timeout)
+    while True:
+        attempts += 1
+        t0 = time.perf_counter()
+        try:
+            with _deadline(timeout):
+                value = fn(**dict(kwargs))
+            encoded = encode_jsonable(value)
+            text = json.dumps(encoded, allow_nan=False)  # transportability gate
+            message: Dict[str, Any] = {
+                "ok": True,
+                "value": encoded,
+                "duration": time.perf_counter() - t0,
+                "attempts": attempts,
+            }
+            if '"__float__"' not in text:
+                message["plain"] = True
+            if skipped:
+                message["deadline_skipped"] = skipped
+            return message
+        except Exception as exc:
+            if attempts <= retries:
+                continue
+            message = {
+                "ok": False,
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+                "duration": time.perf_counter() - t0,
+                "attempts": attempts,
+            }
+            if skipped:
+                message["deadline_skipped"] = skipped
+            return message
 
 
 # ----------------------------------------------------------------------
@@ -177,6 +249,15 @@ class TrialRunner:
         Extra attempts after a failed/timed-out one (total attempts =
         ``retries + 1``).  Retries re-run the identical inputs, so they
         only help against nondeterministic externalities (timeouts).
+    pool:
+        Optional :class:`repro.exec.pool.WorkerPool`.  Pool-transportable
+        specs (module-level function, JSON-encodable kwargs) are fed to
+        its long-lived workers instead of forking fresh ones per
+        :meth:`run`; the rest fall back to the classic fork path, counted
+        in telemetry as ``pool_fallbacks``.  Whether a trial runs in the
+        pool, a per-run fork, or in-process never changes its result —
+        all three paths share the same transport encoding.  The caller
+        owns the pool's lifecycle (use it as a context manager).
     """
 
     def __init__(
@@ -185,6 +266,7 @@ class TrialRunner:
         cache: Optional[ResultCache] = None,
         timeout: Optional[float] = None,
         retries: int = 0,
+        pool: Optional["WorkerPool"] = None,  # noqa: F821
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -194,6 +276,7 @@ class TrialRunner:
         self.cache = cache
         self.timeout = timeout
         self.retries = retries
+        self.pool = pool
         #: cumulative telemetry over every :meth:`run` on this runner
         self.telemetry = RunTelemetry(workers=workers)
         #: telemetry of the most recent :meth:`run` only
@@ -222,12 +305,31 @@ class TrialRunner:
 
         effective = max(1, min(self.workers, len(pending)))
         if pending:
-            if effective == 1 or not hasattr(os, "fork"):
+            if self.pool is not None and hasattr(os, "fork"):
+                messages, unpooled = self.pool.run_specs(
+                    specs, pending, timeout=self.timeout, retries=self.retries
+                )
+                telemetry.pool_batches += 1
+                telemetry.pool_respawns += self.pool.take_respawns()
+                effective = self.pool.workers
+                if unpooled:
+                    # Lambdas / closures / unregistered kwargs cannot
+                    # cross the pool's by-name transport; run them on
+                    # the classic path (fork inherits them by memory).
+                    telemetry.pool_fallbacks += len(unpooled)
+                    fb_workers = max(1, min(self.workers, len(unpooled)))
+                    if fb_workers == 1:
+                        messages.update(self._run_serial(specs, unpooled))
+                    else:
+                        messages.update(
+                            self._run_forked(specs, unpooled, fb_workers)
+                        )
+            elif effective == 1 or not hasattr(os, "fork"):
                 effective = 1
                 messages = self._run_serial(specs, pending)
             else:
                 messages = self._run_forked(specs, pending, effective)
-            self._collect(specs, pending, messages, outcomes)
+            self._collect(specs, pending, messages, outcomes, telemetry)
 
         telemetry.workers = effective
         for index, outcome in enumerate(outcomes):
@@ -257,38 +359,7 @@ class TrialRunner:
 
     # ------------------------------------------------------------------
     def _execute_one(self, spec: TrialSpec) -> Dict[str, Any]:
-        """Run one spec with deadline + bounded retry; return a message.
-
-        Messages are plain JSON dicts — the same shape a forked worker
-        ships over its pipe — so serial and parallel runs share one
-        code path from here up.
-        """
-        attempts = 0
-        while True:
-            attempts += 1
-            t0 = time.perf_counter()
-            try:
-                with _deadline(self.timeout):
-                    value = spec.fn(**dict(spec.kwargs))
-                encoded = encode_jsonable(value)
-                json.dumps(encoded, allow_nan=False)  # transportability gate
-                return {
-                    "ok": True,
-                    "value": encoded,
-                    "duration": time.perf_counter() - t0,
-                    "attempts": attempts,
-                }
-            except Exception as exc:
-                if attempts <= self.retries:
-                    continue
-                return {
-                    "ok": False,
-                    "error_type": type(exc).__name__,
-                    "message": str(exc),
-                    "traceback": traceback.format_exc(),
-                    "duration": time.perf_counter() - t0,
-                    "attempts": attempts,
-                }
+        return execute_call(spec.fn, spec.kwargs, self.timeout, self.retries)
 
     def _run_serial(
         self, specs: Sequence[TrialSpec], pending: Sequence[int]
@@ -375,10 +446,18 @@ class TrialRunner:
         pending: Sequence[int],
         messages: Dict[int, Dict[str, Any]],
         outcomes: List[TrialOutcome],
+        telemetry: Optional[RunTelemetry] = None,
     ) -> None:
         for index in pending:
             spec = specs[index]
             message = messages.get(index)
+            if (
+                telemetry is not None
+                and message is not None
+                and message.get("deadline_skipped")
+                and message["deadline_skipped"] not in telemetry.warnings
+            ):
+                telemetry.warnings.append(message["deadline_skipped"])
             if message is None:
                 # Worker died (crash, OOM kill, os._exit in the trial)
                 # before reporting this trial.
@@ -395,8 +474,14 @@ class TrialRunner:
                 )
                 continue
             if message["ok"]:
+                # "plain" payloads carry no transport tags; skip the
+                # Python-level decode walk (hot for packed segments).
                 outcomes[index] = TrialOutcome(
-                    value=decode_jsonable(message["value"]),
+                    value=(
+                        message["value"]
+                        if message.get("plain")
+                        else decode_jsonable(message["value"])
+                    ),
                     ok=True,
                     duration=float(message["duration"]),
                     attempts=int(message["attempts"]),

@@ -61,6 +61,14 @@ class RunTelemetry:
     cache_writes: int = 0
     cache_corrupted: int = 0
     workers: int = 1
+    #: runner.run() calls served by a persistent WorkerPool
+    pool_batches: int = 0
+    #: trials that could not cross the pool transport (classic path)
+    pool_fallbacks: int = 0
+    #: crashed pool workers replaced with fresh forks
+    pool_respawns: int = 0
+    #: non-fatal degradations (e.g. unenforceable deadlines), deduplicated
+    warnings: List[str] = field(default_factory=list)
     #: seconds each worker spent inside trial functions, keyed by id
     worker_busy: Dict[int, float] = field(default_factory=dict)
     records: List[TrialRecord] = field(default_factory=list)
@@ -78,6 +86,20 @@ class RunTelemetry:
         if record.worker is not None:
             busy = self.worker_busy.get(record.worker, 0.0)
             self.worker_busy[record.worker] = busy + record.duration
+
+    def shard_timings(self) -> Dict[str, float]:
+        """Per-segment wall times of a sharded trial, keyed by label.
+
+        Horizon-sharded Monte Carlo trials label their segment specs
+        ``segment:<index>`` (see :mod:`repro.core.montecarlo`); this
+        pulls those records out so callers can see where a sharded
+        trial's critical path is.
+        """
+        return {
+            record.label: record.duration
+            for record in self.records
+            if record.label.startswith("segment:") and not record.cached
+        }
 
     def worker_utilization(self) -> Dict[int, float]:
         """Fraction of the run's wall time each worker spent computing."""
@@ -99,6 +121,12 @@ class RunTelemetry:
         self.cache_writes += other.cache_writes
         self.cache_corrupted += other.cache_corrupted
         self.workers = max(self.workers, other.workers)
+        self.pool_batches += other.pool_batches
+        self.pool_fallbacks += other.pool_fallbacks
+        self.pool_respawns += other.pool_respawns
+        for warning in other.warnings:
+            if warning not in self.warnings:
+                self.warnings.append(warning)
         for worker, busy in other.worker_busy.items():
             self.worker_busy[worker] = self.worker_busy.get(worker, 0.0) + busy
         self.records.extend(other.records)
@@ -116,9 +144,17 @@ class RunTelemetry:
             "cache_writes": self.cache_writes,
             "cache_corrupted": self.cache_corrupted,
             "workers": self.workers,
+            "pool_batches": self.pool_batches,
+            "pool_fallbacks": self.pool_fallbacks,
+            "pool_respawns": self.pool_respawns,
+            "warnings": list(self.warnings),
             "worker_utilization": {
                 str(worker): round(value, 4)
                 for worker, value in self.worker_utilization().items()
+            },
+            "shard_timings": {
+                label: round(value, 6)
+                for label, value in self.shard_timings().items()
             },
         }
 
@@ -146,5 +182,15 @@ class RunTelemetry:
         if self.failures:
             parts.append(f"{self.failures} failed")
         parts.append(f"{self.workers} worker(s)")
+        if self.pool_batches:
+            pool = f"{self.pool_batches} pooled batch(es)"
+            if self.pool_fallbacks:
+                pool += f" ({self.pool_fallbacks} fell back)"
+            if self.pool_respawns:
+                pool += f" ({self.pool_respawns} respawned)"
+            parts.append(pool)
         parts.append(f"{self.wall_time:.2f}s wall")
-        return "exec: " + ", ".join(parts)
+        line = "exec: " + ", ".join(parts)
+        for warning in self.warnings:
+            line += f"\nwarning: {warning}"
+        return line

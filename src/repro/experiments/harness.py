@@ -37,6 +37,7 @@ from ..core.identifiers import (
 )
 from ..core.transactions import TransactionLog
 from ..radio.mac import AlohaMac
+from ..exec.pool import register_pool_dataclass
 from ..radio.medium import BroadcastMedium
 from ..radio.radio import Radio
 from ..sim.engine import Simulator
@@ -50,9 +51,15 @@ __all__ = ["CollisionTrialConfig", "TrialResult", "run_collision_trial", "replic
 SELECTORS = ("uniform", "listening", "oracle")
 
 
+@register_pool_dataclass
 @dataclass
 class CollisionTrialConfig:
-    """Parameters of one collision-measurement trial (paper defaults)."""
+    """Parameters of one collision-measurement trial (paper defaults).
+
+    Registered for the persistent worker pool's task transport: a
+    config whose factory fields are None (the common case) crosses the
+    pipe by field dict, so ``replicate`` sweeps can reuse pool workers.
+    """
 
     id_bits: int = 8
     n_senders: int = 5

@@ -1,0 +1,217 @@
+"""Benchmark trend tracking: is a tracked hot path getting slower?
+
+``benchmarks/`` publishes one ``BENCH_<name>.json`` envelope per
+benchmark run, but each run *overwrites* the previous file — useful as
+"latest numbers", useless as history.  This module closes that loop:
+
+* :func:`record_snapshot` appends the wall-time of every current
+  ``BENCH_*.json`` to an append-only JSONL history file
+  (``TREND.jsonl`` next to them), tagged with a monotonically
+  increasing run index — no timestamps, so the history stays
+  deterministic and diffable.
+* :func:`analyze` compares each benchmark's latest recorded wall time
+  against the best earlier run at the same fidelity and flags
+  regressions beyond a relative threshold.
+
+``python -m repro bench-trend`` drives both and exits non-zero when a
+regression is flagged, so CI can gate on it.  Comparisons are only
+meaningful within one machine's history — the history file is
+per-checkout, not shared truth.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "TrendFinding",
+    "TrendReport",
+    "analyze",
+    "load_history",
+    "record_snapshot",
+    "wall_time_of",
+]
+
+#: default relative slowdown that counts as a regression (25%)
+DEFAULT_THRESHOLD = 0.25
+
+HISTORY_NAME = "TREND.jsonl"
+
+
+def wall_time_of(payload: Dict[str, Any]) -> Optional[float]:
+    """The comparable wall-time of one ``BENCH_*.json`` payload.
+
+    Prefers pytest-benchmark's measured ``timing.mean`` (merged in at
+    session finish); falls back to a ``wall_time`` the benchmark
+    recorded in its metrics (e.g. run telemetry).  None when the
+    payload carries neither — such files are skipped, not errors.
+    """
+    timing = payload.get("timing")
+    if isinstance(timing, dict):
+        mean = timing.get("mean")
+        if isinstance(mean, (int, float)) and mean > 0:
+            return float(mean)
+    metrics = payload.get("metrics")
+    if isinstance(metrics, dict):
+        for probe in (metrics, metrics.get("telemetry")):
+            if isinstance(probe, dict):
+                wall = probe.get("wall_time")
+                if isinstance(wall, (int, float)) and wall > 0:
+                    return float(wall)
+    return None
+
+
+def load_history(history_path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
+    """Parse the JSONL history; unparseable lines are dropped."""
+    path = pathlib.Path(history_path)
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict) and "name" in entry and "wall" in entry:
+            entries.append(entry)
+    return entries
+
+
+def record_snapshot(
+    results_dir: Union[str, pathlib.Path],
+    history_path: Optional[Union[str, pathlib.Path]] = None,
+) -> int:
+    """Append every current ``BENCH_*.json`` wall time to the history.
+
+    Returns the number of benchmarks recorded.  Recording is a no-op
+    for envelopes without a usable wall time (no timing merged yet).
+    """
+    from .persistence import EnvelopeError, load_envelope
+
+    results = pathlib.Path(results_dir)
+    history = pathlib.Path(
+        history_path if history_path is not None else results / HISTORY_NAME
+    )
+    run = 1 + max((e.get("run", 0) for e in load_history(history)), default=0)
+    lines = []
+    for path in sorted(results.glob("BENCH_*.json")):
+        try:
+            payload = load_envelope(path, "benchmark")
+        except (EnvelopeError, OSError):
+            continue
+        wall = wall_time_of(payload)
+        if wall is None:
+            continue
+        fidelity = payload.get("fidelity", {})
+        lines.append(
+            json.dumps(
+                {
+                    "run": run,
+                    "name": payload.get("name", path.stem),
+                    "wall": wall,
+                    "full": bool(
+                        fidelity.get("full") if isinstance(fidelity, dict) else False
+                    ),
+                },
+                sort_keys=True,
+            )
+        )
+    if lines:
+        history.parent.mkdir(parents=True, exist_ok=True)
+        with history.open("a") as out:
+            for line in lines:
+                out.write(line + "\n")
+    return len(lines)
+
+
+@dataclass
+class TrendFinding:
+    """One benchmark's latest run vs its best earlier run."""
+
+    name: str
+    latest: float
+    baseline: Optional[float]  # None = first sighting, nothing to compare
+    ratio: Optional[float]
+    regressed: bool
+
+    def render(self) -> str:
+        if self.baseline is None:
+            return f"{self.name}: {self.latest:.4f}s (first recorded run)"
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.name}: {self.latest:.4f}s vs best {self.baseline:.4f}s "
+            f"({self.ratio:+.1%}) {verdict}"
+        )
+
+
+@dataclass
+class TrendReport:
+    """Findings for every tracked benchmark."""
+
+    threshold: float
+    findings: List[TrendFinding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[TrendFinding]:
+        return [f for f in self.findings if f.regressed]
+
+    def render(self) -> str:
+        if not self.findings:
+            return "bench-trend: no benchmark history to compare"
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"bench-trend: {len(self.regressions)} regression(s) beyond "
+            f"{self.threshold:.0%} across {len(self.findings)} benchmark(s)"
+        )
+        return "\n".join(lines)
+
+
+def analyze(
+    history: List[Dict[str, Any]], threshold: float = DEFAULT_THRESHOLD
+) -> TrendReport:
+    """Compare each benchmark's latest run against its best earlier one.
+
+    The baseline is the *minimum* earlier wall time at the same
+    fidelity — the best this machine has ever done — so a regression
+    means "slower than we know this code can run here", robust to a
+    noisy single previous run.  Mixed-fidelity histories never
+    cross-contaminate (a REPRO_FULL=1 run is not a regression of a
+    reduced run).
+    """
+    report = TrendReport(threshold=threshold)
+    by_key: Dict[tuple, List[Dict[str, Any]]] = {}
+    for entry in history:
+        by_key.setdefault((entry["name"], bool(entry.get("full"))), []).append(entry)
+    for (name, _full), entries in sorted(by_key.items()):
+        entries = sorted(entries, key=lambda e: e.get("run", 0))
+        latest = float(entries[-1]["wall"])
+        earlier = [float(e["wall"]) for e in entries[:-1]]
+        if not earlier:
+            report.findings.append(
+                TrendFinding(
+                    name=name,
+                    latest=latest,
+                    baseline=None,
+                    ratio=None,
+                    regressed=False,
+                )
+            )
+            continue
+        baseline = min(earlier)
+        ratio = (latest - baseline) / baseline if baseline > 0 else 0.0
+        report.findings.append(
+            TrendFinding(
+                name=name,
+                latest=latest,
+                baseline=baseline,
+                ratio=ratio,
+                regressed=ratio > threshold,
+            )
+        )
+    return report

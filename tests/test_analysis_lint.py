@@ -180,6 +180,21 @@ class TestDeterminismRules:
         findings = lint_source(tmp_path, source, relpath="exec/runner.py")
         assert findings == []
 
+    def test_det006_exempts_the_worker_pool_module(self, tmp_path):
+        source = (
+            "import os\n"
+            "pid = os.fork()\n"
+        )
+        findings = lint_source(tmp_path, source, relpath="exec/pool.py")
+        assert findings == []
+
+    def test_det006_allowlist_is_per_module_not_per_package(self, tmp_path):
+        # Only the two licensed modules may manage processes; the rest
+        # of the exec package is not exempt.
+        source = "import os\npid = os.fork()\n"
+        findings = lint_source(tmp_path, source, relpath="exec/cache.py")
+        assert rule_ids(findings) == ["DET006"]
+
     def test_det006_allows_thread_pool_executor(self, tmp_path):
         source = "from concurrent.futures import ThreadPoolExecutor\n"
         findings = lint_source(tmp_path, source, relpath="experiments/run.py")

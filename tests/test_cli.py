@@ -103,3 +103,91 @@ class TestSimulatedCommands:
         out = capsys.readouterr().out
         assert "collision-rate sweep" in out
         assert "id_bits" in out
+
+
+class TestMonteCarloCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["montecarlo"])
+        assert args.id_bits == 8
+        assert args.shards == 1
+        assert args.pool is False
+
+    def test_quick_run_prints_table(self, capsys):
+        assert main([
+            "montecarlo", "--id-bits", "5", "--rate", "4",
+            "--horizon", "40", "--trials", "2", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Monte Carlo: H=5 bits" in out
+        assert "simulated collision rate (mean)" in out
+
+    def test_sharded_pooled_run(self, capsys):
+        assert main([
+            "montecarlo", "--id-bits", "5", "--rate", "4",
+            "--horizon", "40", "--trials", "2", "--shards", "2",
+            "--workers", "2", "--pool", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out + capsys.readouterr().err
+        assert "shards=2" in out
+
+
+class TestCacheCommand:
+    def test_stats_gc_purge_lifecycle(self, tmp_path, capsys):
+        import repro
+        from repro.exec import ResultCache, trial_key
+
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        cache.put(trial_key("fn", {"x": 1}, 0, "v"), 1.0)
+        cache.put(trial_key("fn", {"x": 2}, 0, "v"), 2.0,
+                  meta={"version": "0.0.1"})
+
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert repro.__version__ in out
+        assert "0.0.1" in out
+
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 1 entry" in capsys.readouterr().out
+        assert len(ResultCache(cache_dir)) == 1
+
+        assert main(["cache", "purge", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 1 entry" in capsys.readouterr().out
+        assert len(ResultCache(cache_dir)) == 0
+
+    def test_action_is_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "shrink"])
+
+
+class TestBenchTrendCommand:
+    def bench(self, results_dir, mean):
+        from repro.experiments.persistence import save_envelope
+
+        save_envelope(
+            results_dir / "BENCH_micro.json", "benchmark",
+            {"name": "micro", "fidelity": {"full": False},
+             "metrics": {}, "timing": {"mean": mean}},
+        )
+
+    def test_records_then_flags_regression(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        self.bench(results, 1.0)
+        assert main(["bench-trend", "--results", str(results)]) == 0
+        capsys.readouterr()
+        self.bench(results, 2.0)  # 100% slower than best
+        assert main(["bench-trend", "--results", str(results)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_no_record_only_analyzes(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        self.bench(results, 1.0)
+        assert main([
+            "bench-trend", "--results", str(results), "--no-record",
+        ]) == 0
+        assert not (results / "TREND.jsonl").exists()
+        assert "no benchmark history" in capsys.readouterr().out

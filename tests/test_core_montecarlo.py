@@ -1,5 +1,6 @@
 """Tests for the mixed-duration model extension and its Monte Carlo oracle."""
 
+import itertools
 import math
 import random
 
@@ -12,7 +13,14 @@ from repro.core.model import (
     p_success,
     p_success_mixed,
 )
-from repro.core.montecarlo import simulate_collision_rate
+from repro.core.montecarlo import (
+    ExponentialDuration,
+    FixedDuration,
+    _generate_arrivals,
+    _simulate_collision_rate_reference,
+    replicate_collision_rate,
+    simulate_collision_rate,
+)
 
 
 class TestEffectiveDensity:
@@ -137,4 +145,225 @@ class TestMonteCarlo:
         with pytest.raises(ValueError):
             simulate_collision_rate(
                 8, 1.0, lambda r: -1.0, horizon=10.0, rng=random.Random(8)
+            )
+
+
+class TestDurationSamplers:
+    def test_fixed_duration_is_constant(self):
+        sampler = FixedDuration(seconds=2.5)
+        assert sampler(random.Random(0)) == 2.5
+        assert FixedDuration()(random.Random(0)) == 1.0
+
+    def test_exponential_duration_has_requested_mean(self):
+        sampler = ExponentialDuration(mean=3.0)
+        rng = random.Random(1)
+        draws = [sampler(rng) for _ in range(20000)]
+        assert sum(draws) / len(draws) == pytest.approx(3.0, rel=0.05)
+
+    def test_samplers_are_frozen_and_hashable(self):
+        # Cache keys and the pool transport rely on the field dict.
+        with pytest.raises(Exception):
+            FixedDuration().seconds = 2.0
+        assert hash(ExponentialDuration(1.0)) == hash(ExponentialDuration(1.0))
+
+
+class TestFastCoreGoldenPins:
+    """The fast event core must stay bit-identical to the historical
+    build-list/double/sort pipeline.  Pins were captured from the
+    pre-fast-core implementation."""
+
+    EXP_PINS = [
+        # (seed, id_bits, rate, horizon, warmup) -> (txns, rate, density)
+        ((1, 8, 5.0, 300.0, 0.0),
+         (1462, 0.03146374829001368, 4.803748998642257)),
+        ((2, 5, 4.0, 500.0, 10.0),
+         (1958, 0.2093973442288049, 3.9340352010342317)),
+        ((7, 3, 6.0, 200.0, 5.0),
+         (1242, 0.7600644122383253, 6.342172165147807)),
+    ]
+    FIXED_PINS = [
+        ((11, 6, 5.0, 400.0, 2.0),
+         (1987, 0.14846502264720685, 4.984371369747749)),
+        ((12, 6, 5.0, 400.0, 2.0),
+         (1972, 0.15517241379310345, 4.95516201844978)),
+    ]
+
+    def test_exponential_duration_pins(self):
+        for (seed, bits, rate, horizon, warmup), expected in self.EXP_PINS:
+            mc = simulate_collision_rate(
+                bits, rate, lambda rr: rr.expovariate(1.0),
+                horizon=horizon, rng=random.Random(seed), warmup=warmup,
+            )
+            assert (mc.transactions, mc.collision_rate, mc.measured_density) == (
+                expected
+            )
+
+    def test_fixed_duration_pins(self):
+        for (seed, bits, rate, horizon, warmup), expected in self.FIXED_PINS:
+            mc = simulate_collision_rate(
+                bits, rate, FixedDuration(1.0),
+                horizon=horizon, rng=random.Random(seed), warmup=warmup,
+            )
+            assert (mc.transactions, mc.collision_rate, mc.measured_density) == (
+                expected
+            )
+
+    def test_matches_reference_pipeline_exactly(self):
+        for seed in (3, 21):
+            fast = simulate_collision_rate(
+                6, 5.0, ExponentialDuration(1.0),
+                horizon=150.0, rng=random.Random(seed), warmup=1.0,
+            )
+            ref = _simulate_collision_rate_reference(
+                6, 5.0, ExponentialDuration(1.0),
+                horizon=150.0, rng=random.Random(seed), warmup=1.0,
+            )
+            assert (fast.transactions, fast.collision_rate,
+                    fast.measured_density) == (
+                ref.transactions, ref.collision_rate, ref.measured_density
+            )
+
+    def test_seed_kwarg_matches_explicit_rng(self):
+        by_seed = simulate_collision_rate(
+            6, 5.0, FixedDuration(1.0), horizon=100.0, seed=13
+        )
+        by_rng = simulate_collision_rate(
+            6, 5.0, FixedDuration(1.0), horizon=100.0, rng=random.Random(13)
+        )
+        assert by_seed == by_rng
+
+
+class TestSharding:
+    PIN_SMALL = (949, 0.12539515279241306, 4.561522717310129)
+    PIN_LONG = (24063, 0.02169305572871213, 11.909173485859137)
+
+    def _small(self, runner=None, shards=4):
+        return simulate_collision_rate(
+            6, 5.0, ExponentialDuration(1.0), horizon=200.0,
+            warmup=2.0, seed=42, shards=shards, runner=runner,
+        )
+
+    def test_sharded_pins(self):
+        mc = self._small()
+        assert (mc.transactions, mc.collision_rate, mc.measured_density) == (
+            self.PIN_SMALL
+        )
+        long = simulate_collision_rate(
+            10, 12.0, ExponentialDuration(1.0), horizon=2000.0, seed=9, shards=4
+        )
+        assert (long.transactions, long.collision_rate,
+                long.measured_density) == self.PIN_LONG
+
+    def test_deterministic_across_worker_counts_and_repeats(self):
+        from repro.exec import TrialRunner
+
+        baseline = self._small()
+        for workers in (1, 3):
+            assert self._small(runner=TrialRunner(workers=workers)) == baseline
+        assert self._small() == baseline
+
+    def test_stitch_matches_brute_force_oracle(self):
+        """Sharded collision counts equal O(n^2) overlap ground truth."""
+        from repro.core.identifiers import IdentifierSpace
+        from repro.exec.keys import segment_seed
+
+        bits, rate, horizon = 5, 4.0, 60.0
+        for seed, shards in itertools.product((1, 2, 3), (2, 3, 5)):
+            txns = []
+            for i in range(shards):
+                lo = (horizon * i) / shards
+                hi = (horizon * (i + 1)) / shards
+                rng = random.Random(segment_seed(seed, i))
+                starts, durations = _generate_arrivals(
+                    rate, ExponentialDuration(1.0), rng, lo, hi
+                )
+                space = IdentifierSpace(bits)
+                idents = [space.sample(rng) for _ in starts]
+                txns += [
+                    (starts[k], starts[k] + durations[k], idents[k])
+                    for k in range(len(starts))
+                ]
+            collided = set()
+            for a in range(len(txns)):
+                for b in range(a + 1, len(txns)):
+                    sa, ea, ia = txns[a]
+                    sb, eb, ib = txns[b]
+                    if ia == ib and sa < eb and sb < ea:
+                        collided.add(a)
+                        collided.add(b)
+
+            mc = simulate_collision_rate(
+                bits, rate, ExponentialDuration(1.0),
+                horizon=horizon, seed=seed, shards=shards,
+            )
+            assert mc.transactions == len(txns)
+            assert round(mc.collision_rate * mc.transactions) == len(collided)
+
+    def test_warmup_excludes_early_transactions(self):
+        full = simulate_collision_rate(
+            6, 5.0, ExponentialDuration(1.0), horizon=100.0, seed=8, shards=2
+        )
+        warmed = simulate_collision_rate(
+            6, 5.0, ExponentialDuration(1.0), horizon=100.0, seed=8,
+            shards=2, warmup=50.0,
+        )
+        assert 0 < warmed.transactions < full.transactions
+
+    def test_empty_segments_give_nan(self):
+        mc = simulate_collision_rate(
+            8, 0.0001, FixedDuration(1.0), horizon=1.0, seed=1, shards=2
+        )
+        assert mc.transactions == 0
+        assert math.isnan(mc.collision_rate)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_collision_rate(6, 5.0, FixedDuration(1.0), shards=0)
+        with pytest.raises(ValueError):  # shards>1 needs a seed
+            simulate_collision_rate(6, 5.0, FixedDuration(1.0), shards=2)
+        with pytest.raises(ValueError):  # rng cannot be split into segments
+            simulate_collision_rate(
+                6, 5.0, FixedDuration(1.0), shards=2, seed=1,
+                rng=random.Random(1),
+            )
+
+    def test_sharded_failure_surfaces_as_exec_error(self):
+        from repro.exec import ExecError
+
+        with pytest.raises(ExecError):
+            # A negative-duration sampler fails inside every segment.
+            simulate_collision_rate(
+                6, 5.0, FixedDuration(-1.0), horizon=10.0, seed=1, shards=2
+            )
+
+
+class TestReplication:
+    def test_shards_one_is_the_classic_point(self):
+        """shards=1 must not perturb derived seeds or recorded results."""
+        classic = replicate_collision_rate(
+            6, 5.0, ExponentialDuration(1.0), trials=2, horizon=50.0
+        )
+        explicit = replicate_collision_rate(
+            6, 5.0, ExponentialDuration(1.0), trials=2, horizon=50.0, shards=1
+        )
+        assert classic == explicit
+
+    def test_sharded_replication_is_deterministic(self):
+        first = replicate_collision_rate(
+            6, 5.0, ExponentialDuration(1.0), trials=2, horizon=60.0, shards=3
+        )
+        second = replicate_collision_rate(
+            6, 5.0, ExponentialDuration(1.0), trials=2, horizon=60.0, shards=3
+        )
+        assert first == second
+        assert not math.isnan(first[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate_collision_rate(
+                6, 5.0, ExponentialDuration(1.0), trials=0
+            )
+        with pytest.raises(ValueError):
+            replicate_collision_rate(
+                6, 5.0, ExponentialDuration(1.0), trials=1, shards=0
             )

@@ -134,3 +134,24 @@ class TestDensityMeasurement:
         log.end(b, time=10.0)
         # concurrency: 1 over [0,5), 2 over [5,10) -> 1.5 average
         assert log.measured_density() == pytest.approx(1.5)
+
+
+class TestTransactionRepresentation:
+    def test_slots_and_identity_equality(self):
+        """The fast event core allocates one Transaction per arrival;
+        __slots__ keeps them compact, and equality is identity (uids are
+        unique, so field equality was identity in disguise anyway)."""
+        log = TransactionLog()
+        a = log.begin(owner=1, identifier=3, time=0.0)
+        b = log.begin(owner=1, identifier=3, time=0.0)
+        assert not hasattr(a, "__dict__")
+        assert a == a
+        assert a != b
+        assert a.uid != b.uid
+
+    def test_repr_reflects_state(self):
+        log = TransactionLog()
+        txn = log.begin(owner=2, identifier=7, time=1.0)
+        assert "open" in repr(txn)
+        log.end(txn, time=2.0)
+        assert "end=2.000" in repr(txn)

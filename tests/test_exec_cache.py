@@ -160,6 +160,53 @@ class TestRunnerCacheIntegration:
         assert third.telemetry.cache_hits == 1
 
 
+class TestCacheManagement:
+    def test_entries_are_version_stamped(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = trial_key("fn", {"x": 1}, 0, repro.__version__)
+        cache.put(key, 1.0)
+        ((path, version),) = list(cache.entries())
+        assert path == cache.path_for(key)
+        assert version == repro.__version__
+
+    def test_disk_stats_counts_by_version(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(trial_key("fn", {"x": 1}, 0, "v"), 1.0)
+        cache.put(trial_key("fn", {"x": 2}, 0, "v"), 2.0)
+        cache.put(trial_key("fn", {"x": 3}, 0, "v"), 3.0, meta={"version": "0.9"})
+        stats = cache.disk_stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert stats["versions"] == {repro.__version__: 2, "0.9": 1}
+
+    def test_gc_drops_other_version_entries_only(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        keep = trial_key("fn", {"x": 1}, 0, "v")
+        cache.put(keep, 1.0)
+        cache.put(trial_key("fn", {"x": 2}, 0, "v"), 2.0, meta={"version": "0.9"})
+        assert cache.gc() == 1
+        assert len(cache) == 1
+        assert cache.get(keep) == (True, 1.0)
+        assert cache.gc() == 0  # idempotent
+
+    def test_gc_drops_unstamped_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = trial_key("fn", {"x": 1}, 0, "v")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_envelope(path, "trial-result", {"key": key, "value": 1.0})
+        assert cache.gc() == 1
+        assert len(cache) == 0
+
+    def test_purge_removes_everything_and_prunes_dirs(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for x in range(3):
+            cache.put(trial_key("fn", {"x": x}, 0, "v"), float(x))
+        assert cache.purge() == 3
+        assert len(cache) == 0
+        assert list(cache.root.glob("*")) == []  # shard dirs pruned
+
+
 class TestEnvelope:
     def test_round_trip(self, tmp_path):
         path = tmp_path / "e.json"

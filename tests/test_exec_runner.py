@@ -163,3 +163,37 @@ class TestFailurePaths:
             TrialRunner(workers=0)
         with pytest.raises(ValueError):
             TrialRunner(retries=-1)
+
+
+class TestDeadlineDegradation:
+    def test_off_main_thread_runs_unbounded_with_warning(self):
+        """SIGALRM deadlines cannot be armed off the main thread; the
+        runner must degrade to an unbounded (but completed) trial and
+        say so in telemetry, not crash."""
+        import threading
+
+        box = {}
+
+        def drive():
+            runner = TrialRunner(workers=1, timeout=5.0)
+            box["outcomes"] = runner.run(
+                [TrialSpec(fn=lambda: 7.0, kwargs={})]
+            )
+            box["telemetry"] = runner.last_telemetry
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        thread.join()
+        assert box["outcomes"][0].ok
+        assert box["outcomes"][0].value == 7.0
+        warnings = box["telemetry"].warnings
+        assert any("off the main thread" in w for w in warnings)
+        assert any("off the main thread" in w
+                   for w in box["telemetry"].summary()["warnings"])
+        assert "warning:" in box["telemetry"].render()
+
+    def test_main_thread_deadlines_stay_armed_and_silent(self):
+        runner = TrialRunner(workers=1, timeout=5.0)
+        outcomes = runner.run([TrialSpec(fn=lambda: 1.0, kwargs={})])
+        assert outcomes[0].ok
+        assert runner.last_telemetry.warnings == []

@@ -1,0 +1,120 @@
+"""Tests for benchmark trend tracking (repro.experiments.trend)."""
+
+import json
+
+import pytest
+
+from repro.experiments.persistence import save_envelope
+from repro.experiments.trend import (
+    analyze,
+    load_history,
+    record_snapshot,
+    wall_time_of,
+)
+
+
+def write_bench(results_dir, name, *, timing_mean=None, wall_time=None, full=False):
+    payload = {
+        "name": name,
+        "fidelity": {"full": full},
+        "metrics": {},
+    }
+    if wall_time is not None:
+        payload["metrics"]["wall_time"] = wall_time
+    if timing_mean is not None:
+        payload["timing"] = {"mean": timing_mean, "rounds": 3}
+    save_envelope(results_dir / f"BENCH_{name}.json", "benchmark", payload)
+
+
+class TestWallTimeOf:
+    def test_prefers_pytest_benchmark_timing(self):
+        payload = {
+            "timing": {"mean": 0.5},
+            "metrics": {"wall_time": 9.0},
+        }
+        assert wall_time_of(payload) == 0.5
+
+    def test_falls_back_to_metric_wall_time(self):
+        assert wall_time_of({"metrics": {"wall_time": 2.0}}) == 2.0
+        assert wall_time_of(
+            {"metrics": {"telemetry": {"wall_time": 3.0}}}
+        ) == 3.0
+
+    def test_none_when_untimed(self):
+        assert wall_time_of({"metrics": {}}) is None
+        assert wall_time_of({"timing": {"mean": 0.0}}) is None
+
+
+class TestRecordSnapshot:
+    def test_appends_with_increasing_run_index(self, tmp_path):
+        write_bench(tmp_path, "alpha", timing_mean=1.0)
+        write_bench(tmp_path, "beta", wall_time=2.0)
+        assert record_snapshot(tmp_path) == 2
+        write_bench(tmp_path, "alpha", timing_mean=1.1)
+        assert record_snapshot(tmp_path) == 2
+        history = load_history(tmp_path / "TREND.jsonl")
+        assert [e["run"] for e in history] == [1, 1, 2, 2]
+        assert {e["name"] for e in history} == {"alpha", "beta"}
+        # deterministic: no timestamps anywhere
+        for line in (tmp_path / "TREND.jsonl").read_text().splitlines():
+            assert set(json.loads(line)) == {"run", "name", "wall", "full"}
+
+    def test_skips_untimed_and_corrupt_envelopes(self, tmp_path):
+        write_bench(tmp_path, "untimed")
+        (tmp_path / "BENCH_broken.json").write_text("not json")
+        assert record_snapshot(tmp_path) == 0
+        assert not (tmp_path / "TREND.jsonl").exists()
+
+    def test_load_history_drops_garbage_lines(self, tmp_path):
+        history = tmp_path / "TREND.jsonl"
+        history.write_text(
+            '{"run": 1, "name": "a", "wall": 1.0}\n'
+            "garbage\n"
+            '{"missing": "fields"}\n'
+        )
+        assert len(load_history(history)) == 1
+
+
+class TestAnalyze:
+    def entry(self, run, name, wall, full=False):
+        return {"run": run, "name": name, "wall": wall, "full": full}
+
+    def test_first_sighting_is_not_a_regression(self):
+        report = analyze([self.entry(1, "a", 1.0)])
+        assert len(report.findings) == 1
+        assert report.findings[0].baseline is None
+        assert report.regressions == []
+        assert "first recorded run" in report.render()
+
+    def test_flags_slowdown_beyond_threshold(self):
+        report = analyze(
+            [self.entry(1, "a", 1.0), self.entry(2, "a", 1.5)], threshold=0.25
+        )
+        (finding,) = report.findings
+        assert finding.regressed
+        assert finding.ratio == pytest.approx(0.5)
+        assert "REGRESSED" in report.render()
+
+    def test_baseline_is_best_earlier_run(self):
+        history = [
+            self.entry(1, "a", 2.0),
+            self.entry(2, "a", 0.8),
+            self.entry(3, "a", 0.9),
+        ]
+        (finding,) = analyze(history).findings
+        assert finding.baseline == 0.8
+        assert not finding.regressed  # 12.5% over best, below 25%
+
+    def test_fidelity_modes_never_cross_contaminate(self):
+        history = [
+            self.entry(1, "a", 0.1, full=False),
+            self.entry(2, "a", 60.0, full=True),
+        ]
+        report = analyze(history)
+        assert len(report.findings) == 2
+        assert report.regressions == []
+
+    def test_empty_history_renders_gracefully(self):
+        report = analyze([])
+        assert report.findings == []
+        assert "no benchmark history" in report.render()
