@@ -13,9 +13,16 @@ contracts hold everywhere in the tree:
 
 This package is an AST-based lint framework (visitor core + rule
 registry + per-rule suppression + a committed baseline file) that
-mechanically enforces those contracts.  Run it as::
+mechanically enforces those contracts.  Beyond the per-module rules, a
+project-wide mode (``--project``) builds a symbol table
+(:mod:`.symbols`), a call graph (:mod:`.callgraph`) and a conservative
+taint/dataflow engine (:mod:`.dataflow`) to check the *cross-module*
+contracts of the exec subsystem: seed provenance (SEED001/002),
+fork/cache safety of trial functions (EXEC001-003), and purity of the
+canonical serialization path (PURE001).  Run it as::
 
     python -m repro.lint [paths...]
+    python -m repro.lint --project [--sarif out.sarif] [paths...]
 
 See ``docs/static-analysis.md`` for the rule catalogue and the
 suppression / baseline workflow.
@@ -29,25 +36,42 @@ from .core import (
     Linter,
     LintReport,
     ModuleContext,
+    ProjectRule,
     Rule,
+    all_project_rules,
     all_rules,
+    project_registry,
     register,
+    register_project,
     registry,
 )
+from .callgraph import CallGraph, build_callgraph
+from .symbols import ProjectContext, build_project
 
 # Importing the rule-pack modules registers their rules.
 from . import determinism as determinism
 from . import rngstreams as rngstreams
 from . import wire_rules as wire_rules
+from . import seed_rules as seed_rules
+from . import exec_rules as exec_rules
+from . import purity as purity
 
 __all__ = [
     "Baseline",
+    "CallGraph",
     "Finding",
     "LintReport",
     "Linter",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
+    "build_callgraph",
+    "build_project",
+    "project_registry",
     "register",
+    "register_project",
     "registry",
 ]

@@ -13,9 +13,19 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple, Union
 
-from .core import Baseline, Linter, Rule, all_rules, registry
+from .core import (
+    Baseline,
+    Linter,
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    project_registry,
+    registry,
+)
+from .sarif import write_sarif
 
 __all__ = ["main"]
 
@@ -41,6 +51,19 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("text", "json"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "additionally run the project-wide dataflow rules "
+            "(SEED/EXEC/PURE packs) over all files as one unit"
+        ),
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="also write the findings as a SARIF 2.1.0 file",
     )
     parser.add_argument(
         "--select",
@@ -88,16 +111,21 @@ def _parse_rule_ids(spec: str, known: Sequence[str]) -> List[str]:
 
 def _select_rules(
     select: Optional[str], ignore: Optional[str]
-) -> List[Rule]:
-    known = sorted(registry())
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    known = sorted(registry()) + sorted(project_registry())
     rules = all_rules()
+    project_rules = all_project_rules()
     if select:
         wanted = set(_parse_rule_ids(select, known))
         rules = [rule for rule in rules if rule.rule_id in wanted]
+        project_rules = [rule for rule in project_rules if rule.rule_id in wanted]
     if ignore:
         dropped = set(_parse_rule_ids(ignore, known))
         rules = [rule for rule in rules if rule.rule_id not in dropped]
-    return rules
+        project_rules = [
+            rule for rule in project_rules if rule.rule_id not in dropped
+        ]
+    return rules, project_rules
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -107,10 +135,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.description}")
+        for project_rule in all_project_rules():
+            print(f"{project_rule.rule_id}  [project] {project_rule.description}")
         return 0
 
     try:
-        rules = _select_rules(args.select, args.ignore)
+        rules, project_rules = _select_rules(args.select, args.ignore)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -130,8 +160,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    linter = Linter(rules=rules, baseline=baseline)
-    report = linter.lint_paths(paths)
+    linter = Linter(rules=rules, baseline=baseline, project_rules=project_rules)
+    report = linter.lint_paths(paths, project=args.project)
+
+    if args.sarif:
+        sarif_rules: List[Union[Rule, ProjectRule]] = [*rules, *project_rules]
+        write_sarif(Path(args.sarif), report, sarif_rules)
 
     if args.write_baseline:
         Baseline.from_findings(report.findings).dump(baseline_path)

@@ -14,6 +14,16 @@ The design mirrors flake8/ruff at one-tenth scale:
 
 Fingerprints are ``rule_id:path:sha1(normalised source line)`` — stable
 under unrelated edits that merely shift line numbers.
+
+Two kinds of rule coexist: :class:`Rule` sees one module at a time;
+:class:`ProjectRule` (run only under ``--project``) sees the whole
+parsed tree at once through a
+:class:`~repro.analysis.symbols.ProjectContext` and may relate a
+definition in one file to a use in another.  Project findings go
+through the same suppression comments and baseline fingerprints as
+per-module ones — a fingerprint binds to the flagged *line's content*,
+not its number, so cross-module findings survive line drift in either
+file.
 """
 
 from __future__ import annotations
@@ -24,9 +34,22 @@ import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from .constfold import collect_module_constants
+
+if TYPE_CHECKING:
+    from .symbols import ProjectContext
 
 __all__ = [
     "Baseline",
@@ -34,9 +57,13 @@ __all__ = [
     "LintReport",
     "Linter",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
+    "project_registry",
     "register",
+    "register_project",
     "registry",
 ]
 
@@ -161,6 +188,65 @@ def all_rules() -> List[Rule]:
     return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
 
 
+class ProjectRule:
+    """Base class for rules that inspect the whole project at once.
+
+    Subclasses implement :meth:`check_project` over a
+    :class:`~repro.analysis.symbols.ProjectContext` and emit findings
+    whose ``path`` names the module the finding anchors to — that is
+    where suppression comments and baseline fingerprints apply.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, project: "ProjectContext", module_path: str, node: ast.AST, message: str
+    ) -> Finding:
+        """A finding anchored to ``node`` inside the module at ``module_path``."""
+        module = project.by_path[module_path]
+        lineno = int(getattr(node, "lineno", 1))
+        return Finding(
+            rule_id=self.rule_id,
+            path=module_path,
+            line=lineno,
+            col=int(getattr(node, "col_offset", 0)),
+            message=message,
+            snippet=module.ctx.source_line(lineno),
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.rule_id}>"
+
+
+_PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}
+
+
+def register_project(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator: add ``cls`` to the project-rule registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"rule id {cls.rule_id} already used by a module rule")
+    if cls.rule_id in _PROJECT_REGISTRY and _PROJECT_REGISTRY[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _PROJECT_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def project_registry() -> Dict[str, Type[ProjectRule]]:
+    """A copy of the project-rule registry (id -> rule class)."""
+    return dict(_PROJECT_REGISTRY)
+
+
+def all_project_rules() -> List[ProjectRule]:
+    """Fresh instances of every registered project rule, sorted by id."""
+    return [_PROJECT_REGISTRY[rule_id]() for rule_id in sorted(_PROJECT_REGISTRY)]
+
+
 class Baseline:
     """Grandfathered findings, keyed by fingerprint with counts.
 
@@ -252,19 +338,51 @@ class Linter:
         self,
         rules: Optional[Sequence[Rule]] = None,
         baseline: Optional[Baseline] = None,
+        project_rules: Optional[Sequence[ProjectRule]] = None,
     ):
         self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
         self.baseline = baseline
+        self.project_rules: List[ProjectRule] = (
+            list(project_rules) if project_rules is not None else all_project_rules()
+        )
 
     # ------------------------------------------------------------------
-    def lint_paths(self, paths: Sequence[Path]) -> LintReport:
+    def lint_paths(self, paths: Sequence[Path], project: bool = False) -> LintReport:
         report = LintReport()
+        contexts: List[ModuleContext] = []
         for path in self._expand(paths):
             report.files_checked += 1
-            self._lint_file(path, report)
+            ctx = self._lint_file(path, report)
+            if ctx is not None:
+                contexts.append(ctx)
+        if project and contexts:
+            self._lint_project(contexts, report)
         if self.baseline is not None:
             report.findings = self.baseline.filter(report.findings)
         return report
+
+    def _lint_project(
+        self, contexts: List[ModuleContext], report: LintReport
+    ) -> None:
+        from .symbols import build_project
+
+        project_ctx = build_project(contexts)
+        by_path: Dict[str, ModuleContext] = {
+            ctx.display_path: ctx for ctx in contexts
+        }
+        collected: List[Finding] = []
+        for rule in self.project_rules:
+            for finding in rule.check_project(project_ctx):
+                ctx = by_path.get(finding.path)
+                line = ctx.source_line(finding.line) if ctx is not None else ""
+                suppressed = _suppressed_rules(line)
+                if suppressed is not None and (
+                    not suppressed or finding.rule_id in suppressed
+                ):
+                    continue
+                collected.append(finding)
+        collected.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        report.findings.extend(collected)
 
     def _expand(self, paths: Sequence[Path]) -> Iterator[Path]:
         for path in paths:
@@ -281,14 +399,14 @@ class Linter:
         except ValueError:
             return path.as_posix()
 
-    def _lint_file(self, path: Path, report: LintReport) -> None:
+    def _lint_file(self, path: Path, report: LintReport) -> Optional[ModuleContext]:
         display = self._display_path(path)
         try:
             source = path.read_text(encoding="utf-8")
             tree = ast.parse(source, filename=str(path))
         except (OSError, SyntaxError, ValueError) as exc:
             report.errors.append((display, str(exc)))
-            return
+            return None
         ctx = ModuleContext(path=path, source=source, tree=tree, display_path=display)
         for rule in self.rules:
             for finding in rule.check(ctx):
@@ -298,3 +416,4 @@ class Linter:
                 ):
                     continue
                 report.findings.append(finding)
+        return ctx

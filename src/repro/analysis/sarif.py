@@ -1,0 +1,111 @@
+"""SARIF 2.1.0 serialisation of a lint report.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua
+franca of code-scanning UIs — GitHub's code-scanning tab, VS Code's
+SARIF viewer, most CI dashboards.  Emitting it costs one JSON shape
+and buys every one of those surfaces for free, so ``python -m
+repro.lint --sarif out.sarif`` writes one alongside the normal output.
+
+The mapping is deliberately minimal: one ``run``, one ``result`` per
+finding, the rule catalogue under ``tool.driver.rules``, and the
+baseline fingerprint as a ``partialFingerprints`` entry so downstream
+tools can track a finding across commits exactly like our own baseline
+does (the fingerprint hashes the flagged line's content, not its
+number).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from .core import LintReport, ProjectRule, Rule
+
+__all__ = ["to_sarif", "write_sarif", "SARIF_VERSION"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: partialFingerprints key; bump if the fingerprint recipe changes.
+_FINGERPRINT_KEY = "reproLint/v1"
+
+RuleLike = Union[Rule, ProjectRule]
+
+
+def to_sarif(report: LintReport, rules: Sequence[RuleLike]) -> Dict[str, Any]:
+    """The SARIF document for ``report`` as a JSON-ready dict."""
+    rule_descriptors: List[Dict[str, Any]] = []
+    rule_index: Dict[str, int] = {}
+    for rule in sorted(rules, key=lambda r: r.rule_id):
+        if rule.rule_id in rule_index:
+            continue
+        rule_index[rule.rule_id] = len(rule_descriptors)
+        rule_descriptors.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.description},
+            }
+        )
+
+    results: List[Dict[str, Any]] = []
+    for finding in report.findings:
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {_FINGERPRINT_KEY: finding.fingerprint()},
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+
+    notifications: List[Dict[str, Any]] = [
+        {
+            "level": "error",
+            "message": {"text": f"{path}: {message}"},
+        }
+        for path, message in report.errors
+    ]
+
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rule_descriptors,
+                    }
+                },
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not report.errors,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: Path, report: LintReport, rules: Sequence[RuleLike]
+) -> None:
+    """Write the SARIF document for ``report`` to ``path``."""
+    document = to_sarif(report, rules)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")

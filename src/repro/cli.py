@@ -331,9 +331,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             table.add_row(f"entries written by {version}", count)
         print(table.render())
     elif args.action == "gc":
-        # --keep-current is the only (and default) policy: entries
-        # written by any other version are unreachable by construction.
-        removed = cache.gc()
+        # --keep-current is the only (and default) version policy:
+        # entries written by any other version are unreachable by
+        # construction.  --max-bytes then evicts least-recently-read
+        # entries until the cache fits.
+        removed = cache.gc(max_bytes=args.max_bytes)
         print(f"cache gc: removed {removed} entr{'y' if removed == 1 else 'ies'}")
     elif args.action == "purge":
         removed = cache.purge()
@@ -452,6 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
     cch = sub.add_parser("cache", help="inspect or clean the result cache")
     cch.add_argument("action", choices=("stats", "gc", "purge"))
     cch.add_argument("--cache-dir", default=".repro-cache", metavar="DIR")
+    cch.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="with gc: evict least-recently-read entries until the "
+        "cache is at most N bytes",
+    )
     cch.add_argument(
         "--keep-current", action="store_true",
         help="gc policy: keep only entries written by the current "

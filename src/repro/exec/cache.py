@@ -18,9 +18,10 @@ indistinguishable to the caller, byte for byte.
 
 from __future__ import annotations
 
+import os
 import pathlib
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 __all__ = ["CacheStats", "ResultCache"]
 
@@ -43,7 +44,7 @@ class CacheStats:
 class ResultCache:
     """A directory of content-addressed trial results."""
 
-    def __init__(self, root: Union[str, pathlib.Path]):
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
@@ -58,6 +59,10 @@ class ResultCache:
         A corrupted entry — truncated file, wrong schema, foreign kind,
         or a key mismatch from a hash truncation bug — counts as a miss,
         is deleted, and will be rewritten by the next :meth:`put`.
+
+        Every hit re-stamps the entry's file times, giving
+        :meth:`gc` a least-recently-*read* eviction order that works
+        on ``noatime`` mounts too.
         """
         from ..experiments.persistence import EnvelopeError, load_envelope
 
@@ -79,9 +84,13 @@ class ResultCache:
                 pass
             return False, None
         self.stats.hits += 1
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # read-only cache mounts still serve hits
         return True, value
 
-    def put(self, key: str, value: Any, meta: Optional[dict] = None) -> None:
+    def put(self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> None:
         """Store a transport-encoded ``value`` under ``key`` (atomic).
 
         Every entry is stamped with the writing ``repro.__version__``:
@@ -120,11 +129,11 @@ class ResultCache:
                 version = None
             yield path, version if isinstance(version, str) else None
 
-    def disk_stats(self) -> dict:
+    def disk_stats(self) -> Dict[str, Any]:
         """Entry count, total bytes, and entries-per-writer-version."""
         count = 0
         total_bytes = 0
-        versions: dict = {}
+        versions: Dict[str, int] = {}
         for path, version in self.entries():
             count += 1
             try:
@@ -140,16 +149,25 @@ class ResultCache:
             "versions": dict(sorted(versions.items())),
         }
 
-    def gc(self, keep_version: Optional[str] = None) -> int:
-        """Drop entries not written by ``keep_version`` (default: current).
+    def gc(
+        self,
+        keep_version: Optional[str] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Drop unreachable entries, then enforce a size cap.
 
-        Cache keys fold ``repro.__version__`` in, so entries stamped by
-        any other version are unreachable forever — pure disk waste.
+        Entries not written by ``keep_version`` (default: current) go
+        first: cache keys fold ``repro.__version__`` in, so entries
+        stamped by any other version are unreachable forever — pure
+        disk waste.  With ``max_bytes``, surviving entries are then
+        evicted least-recently-read first (:meth:`get` re-stamps file
+        times on every hit) until the total is within the cap.
         Returns the number of entries removed.
         """
         if keep_version is None:
             from .. import __version__ as keep_version  # type: ignore[no-redef]
         removed = 0
+        survivors: List[Tuple[float, int, pathlib.Path]] = []
         for path, version in self.entries():
             if version != keep_version:
                 try:
@@ -157,6 +175,25 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+                continue
+            if max_bytes is not None:
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                survivors.append((stat.st_mtime, stat.st_size, path))
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            survivors.sort(key=lambda item: (item[0], str(item[2])))
+            for _, size, path in survivors:
+                if total <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                total -= size
         self._prune_empty_dirs()
         return removed
 

@@ -39,7 +39,7 @@ import selectors
 import struct
 import time
 from dataclasses import fields, is_dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 from .runner import TrialSpec, execute_call
 
@@ -60,10 +60,10 @@ class NotPoolable(Exception):
 # Task transport: canonical JSON + by-name callables and dataclasses
 # ----------------------------------------------------------------------
 #: Dataclasses allowed to cross the task pipe, keyed by module:qualname.
-_POOL_DATACLASSES: Dict[str, type] = {}
+_POOL_DATACLASSES: Dict[str, Type[Any]] = {}
 
 
-def register_pool_dataclass(cls: type) -> type:
+def register_pool_dataclass(cls: Type[Any]) -> Type[Any]:
     """Allow instances of dataclass ``cls`` in pool task kwargs.
 
     Registration is an explicit opt-in (usable as a class decorator):
@@ -112,7 +112,7 @@ def encode_pool_value(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [encode_pool_value(item) for item in value]
     if isinstance(value, dict):
-        out = {}
+        out: Dict[str, Any] = {}
         for key, item in value.items():
             if not isinstance(key, str):
                 raise NotPoolable(f"non-string dict key {key!r}")
@@ -259,7 +259,7 @@ class _Worker:
 
     __slots__ = ("pid", "task_fd", "result_fd", "tasks_done")
 
-    def __init__(self, pid: int, task_fd: int, result_fd: int):
+    def __init__(self, pid: int, task_fd: int, result_fd: int) -> None:
         self.pid = pid
         self.task_fd = task_fd
         self.result_fd = result_fd
@@ -300,7 +300,7 @@ class WorkerPool:
     ...     runner.run(specs_b)   # same workers, no new forks
     """
 
-    def __init__(self, workers: int = 2):
+    def __init__(self, workers: int = 2) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only repo

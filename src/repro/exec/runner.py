@@ -37,10 +37,24 @@ import time
 import traceback
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .cache import ResultCache
 from .telemetry import RunTelemetry, TrialRecord
+
+if TYPE_CHECKING:  # pool.py imports runner.py; only the annotation needs it
+    from .pool import WorkerPool
 
 __all__ = [
     "ExecError",
@@ -266,8 +280,8 @@ class TrialRunner:
         cache: Optional[ResultCache] = None,
         timeout: Optional[float] = None,
         retries: int = 0,
-        pool: Optional["WorkerPool"] = None,  # noqa: F821
-    ):
+        pool: Optional["WorkerPool"] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if retries < 0:
@@ -378,7 +392,7 @@ class TrialRunner:
         self, specs: Sequence[TrialSpec], pending: Sequence[int], workers: int
     ) -> Dict[int, Dict[str, Any]]:
         shards = [list(pending[w::workers]) for w in range(workers)]
-        children: List[tuple] = []  # (pid, read_fd)
+        children: List[Tuple[int, int]] = []  # (pid, read_fd)
         for worker_id, shard in enumerate(shards):
             read_fd, write_fd = os.pipe()
             pid = os.fork()

@@ -71,6 +71,8 @@ class RunTelemetry:
     warnings: List[str] = field(default_factory=list)
     #: seconds each worker spent inside trial functions, keyed by id
     worker_busy: Dict[int, float] = field(default_factory=dict)
+    #: trials served by each worker, keyed by id
+    worker_tasks: Dict[int, int] = field(default_factory=dict)
     records: List[TrialRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -86,6 +88,9 @@ class RunTelemetry:
         if record.worker is not None:
             busy = self.worker_busy.get(record.worker, 0.0)
             self.worker_busy[record.worker] = busy + record.duration
+            self.worker_tasks[record.worker] = (
+                self.worker_tasks.get(record.worker, 0) + 1
+            )
 
     def shard_timings(self) -> Dict[str, float]:
         """Per-segment wall times of a sharded trial, keyed by label.
@@ -129,6 +134,8 @@ class RunTelemetry:
                 self.warnings.append(warning)
         for worker, busy in other.worker_busy.items():
             self.worker_busy[worker] = self.worker_busy.get(worker, 0.0) + busy
+        for worker, tasks in other.worker_tasks.items():
+            self.worker_tasks[worker] = self.worker_tasks.get(worker, 0) + tasks
         self.records.extend(other.records)
 
     # ------------------------------------------------------------------
@@ -151,6 +158,10 @@ class RunTelemetry:
             "worker_utilization": {
                 str(worker): round(value, 4)
                 for worker, value in self.worker_utilization().items()
+            },
+            "worker_tasks": {
+                str(worker): tasks
+                for worker, tasks in sorted(self.worker_tasks.items())
             },
             "shard_timings": {
                 label: round(value, 6)

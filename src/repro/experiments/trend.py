@@ -32,6 +32,7 @@ __all__ = [
     "analyze",
     "load_history",
     "record_snapshot",
+    "utilization_of",
     "wall_time_of",
 ]
 
@@ -61,6 +62,48 @@ def wall_time_of(payload: Dict[str, Any]) -> Optional[float]:
                 wall = probe.get("wall_time")
                 if isinstance(wall, (int, float)) and wall > 0:
                     return float(wall)
+    return None
+
+
+def utilization_of(payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Worker-utilization figures of one ``BENCH_*.json`` payload.
+
+    Benchmarks that ran through the exec layer embed a telemetry
+    summary in their metrics (under ``telemetry`` or ``execution``);
+    this extracts the per-worker busy fractions and tasks served and
+    condenses them to ``{"util": mean_busy_fraction, "tasks": total}``.
+    None when the payload has no worker telemetry — single-process
+    benchmarks simply have no utilization story.
+    """
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        return None
+    for probe in (metrics, metrics.get("telemetry"), metrics.get("execution")):
+        if not isinstance(probe, dict):
+            continue
+        utilization = probe.get("worker_utilization")
+        if not isinstance(utilization, dict) or not utilization:
+            continue
+        fractions = [
+            float(value)
+            for value in utilization.values()
+            if isinstance(value, (int, float))
+        ]
+        if not fractions:
+            continue
+        out: Dict[str, Any] = {
+            "util": round(sum(fractions) / len(fractions), 4),
+        }
+        tasks = probe.get("worker_tasks")
+        if isinstance(tasks, dict):
+            served = [
+                int(value)
+                for value in tasks.values()
+                if isinstance(value, (int, float))
+            ]
+            if served:
+                out["tasks"] = sum(served)
+        return out
     return None
 
 
@@ -109,19 +152,18 @@ def record_snapshot(
         if wall is None:
             continue
         fidelity = payload.get("fidelity", {})
-        lines.append(
-            json.dumps(
-                {
-                    "run": run,
-                    "name": payload.get("name", path.stem),
-                    "wall": wall,
-                    "full": bool(
-                        fidelity.get("full") if isinstance(fidelity, dict) else False
-                    ),
-                },
-                sort_keys=True,
-            )
-        )
+        entry = {
+            "run": run,
+            "name": payload.get("name", path.stem),
+            "wall": wall,
+            "full": bool(
+                fidelity.get("full") if isinstance(fidelity, dict) else False
+            ),
+        }
+        utilization = utilization_of(payload)
+        if utilization is not None:
+            entry.update(utilization)
+        lines.append(json.dumps(entry, sort_keys=True))
     if lines:
         history.parent.mkdir(parents=True, exist_ok=True)
         with history.open("a") as out:
@@ -139,14 +181,23 @@ class TrendFinding:
     baseline: Optional[float]  # None = first sighting, nothing to compare
     ratio: Optional[float]
     regressed: bool
+    #: mean worker busy fraction of the latest run, when recorded
+    util: Optional[float] = None
+    #: total tasks served by workers in the latest run, when recorded
+    tasks: Optional[int] = None
 
     def render(self) -> str:
+        extra = ""
+        if self.util is not None:
+            extra = f", {self.util:.0%} worker util"
+            if self.tasks is not None:
+                extra += f" over {self.tasks} task(s)"
         if self.baseline is None:
-            return f"{self.name}: {self.latest:.4f}s (first recorded run)"
+            return f"{self.name}: {self.latest:.4f}s (first recorded run){extra}"
         verdict = "REGRESSED" if self.regressed else "ok"
         return (
             f"{self.name}: {self.latest:.4f}s vs best {self.baseline:.4f}s "
-            f"({self.ratio:+.1%}) {verdict}"
+            f"({self.ratio:+.1%}) {verdict}{extra}"
         )
 
 
@@ -190,7 +241,12 @@ def analyze(
         by_key.setdefault((entry["name"], bool(entry.get("full"))), []).append(entry)
     for (name, _full), entries in sorted(by_key.items()):
         entries = sorted(entries, key=lambda e: e.get("run", 0))
-        latest = float(entries[-1]["wall"])
+        newest = entries[-1]
+        latest = float(newest["wall"])
+        util = newest.get("util")
+        tasks = newest.get("tasks")
+        util = float(util) if isinstance(util, (int, float)) else None
+        tasks = int(tasks) if isinstance(tasks, (int, float)) else None
         earlier = [float(e["wall"]) for e in entries[:-1]]
         if not earlier:
             report.findings.append(
@@ -200,6 +256,8 @@ def analyze(
                     baseline=None,
                     ratio=None,
                     regressed=False,
+                    util=util,
+                    tasks=tasks,
                 )
             )
             continue
@@ -212,6 +270,8 @@ def analyze(
                 baseline=baseline,
                 ratio=ratio,
                 regressed=ratio > threshold,
+                util=util,
+                tasks=tasks,
             )
         )
     return report

@@ -488,14 +488,14 @@ class TestShippedTree:
 
 
 # ----------------------------------------------------------------------
-# Optional: mypy checks the strictly-typed analysis package
+# Optional: mypy checks the strictly-typed packages
 # ----------------------------------------------------------------------
-def test_mypy_strict_on_analysis_package():
+def test_mypy_strict_on_analysis_and_exec_packages():
     pytest.importorskip("mypy")
     from mypy import api as mypy_api
 
     stdout, stderr, status = mypy_api.run(
         ["--config-file", str(SRC_ROOT.parent / "setup.cfg"),
-         "-p", "repro.analysis"]
+         "-p", "repro.analysis", "-p", "repro.exec"]
     )
     assert status == 0, stdout + stderr

@@ -156,6 +156,23 @@ class TestCacheCommand:
         assert "removed 1 entry" in capsys.readouterr().out
         assert len(ResultCache(cache_dir)) == 0
 
+    def test_gc_max_bytes_enforces_size_cap(self, tmp_path, capsys):
+        from repro.exec import ResultCache, trial_key
+
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        for x in range(3):
+            cache.put(trial_key("fn", {"x": x}, 0, "v"), float(x))
+
+        # Entries are stamped with the current version, so without a
+        # cap nothing is collected; with --max-bytes 1 everything goes.
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 0 entr" in capsys.readouterr().out
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir),
+                     "--max-bytes", "1"]) == 0
+        assert "removed 3 entr" in capsys.readouterr().out
+        assert len(ResultCache(cache_dir)) == 0
+
     def test_action_is_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "shrink"])

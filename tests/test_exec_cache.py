@@ -198,6 +198,43 @@ class TestCacheManagement:
         assert cache.gc() == 1
         assert len(cache) == 0
 
+    def test_gc_max_bytes_evicts_least_recently_read(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "c")
+        keys = [trial_key("fn", {"x": x}, 0, "v") for x in range(4)]
+        for i, key in enumerate(keys):
+            cache.put(key, float(i))
+            stamp = 1000.0 + i
+            os.utime(cache.path_for(key), (stamp, stamp))
+        # Reading the oldest entry re-stamps it: it becomes the most
+        # recently *read* and must survive the eviction below.
+        hit, _ = cache.get(keys[0])
+        assert hit
+        entry_bytes = cache.path_for(keys[0]).stat().st_size
+        removed = cache.gc(keep_version=repro.__version__,
+                           max_bytes=2 * entry_bytes)
+        assert removed == 2
+        assert cache.path_for(keys[0]).exists()   # re-read: kept
+        assert cache.path_for(keys[3]).exists()   # newest write: kept
+        assert not cache.path_for(keys[1]).exists()
+        assert not cache.path_for(keys[2]).exists()
+
+    def test_gc_max_bytes_zero_empties_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for x in range(3):
+            cache.put(trial_key("fn", {"x": x}, 0, "v"), float(x))
+        assert cache.gc(keep_version=repro.__version__, max_bytes=0) == 3
+        assert len(cache) == 0
+        assert list(cache.root.glob("*")) == []  # shard dirs pruned
+
+    def test_gc_without_cap_never_size_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for x in range(3):
+            cache.put(trial_key("fn", {"x": x}, 0, "v"), float(x))
+        assert cache.gc(keep_version=repro.__version__) == 0
+        assert len(cache) == 3
+
     def test_purge_removes_everything_and_prunes_dirs(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
         for x in range(3):

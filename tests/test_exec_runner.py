@@ -82,6 +82,27 @@ class TestShardingAndOrdering:
         assert summary["failures"] == 0
         assert summary["workers"] == 2
 
+    def test_per_worker_utilization_and_tasks(self):
+        runner = TrialRunner(workers=2)
+        runner.run(
+            [TrialSpec(fn=lambda i=i: float(i), kwargs={}) for i in range(4)]
+        )
+        telemetry = runner.last_telemetry
+        # Round-robin over 2 workers: each serves exactly 2 trials.
+        assert telemetry.worker_tasks == {0: 2, 1: 2}
+        assert set(telemetry.worker_busy) == {0, 1}
+        summary = telemetry.summary()
+        assert summary["worker_tasks"] == {"0": 2, "1": 2}
+        assert set(summary["worker_utilization"]) == {"0", "1"}
+
+    def test_telemetry_merge_accumulates_worker_tasks(self):
+        runner = TrialRunner(workers=2)
+        specs = [TrialSpec(fn=lambda i=i: float(i), kwargs={}) for i in range(4)]
+        runner.run(specs)
+        runner.run(specs)
+        assert runner.telemetry.worker_tasks == {0: 4, 1: 4}
+        assert sum(runner.telemetry.worker_busy.values()) >= 0.0
+
 
 class TestFailurePaths:
     @pytest.mark.parametrize("workers", [1, 2])

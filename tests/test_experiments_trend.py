@@ -9,11 +9,13 @@ from repro.experiments.trend import (
     analyze,
     load_history,
     record_snapshot,
+    utilization_of,
     wall_time_of,
 )
 
 
-def write_bench(results_dir, name, *, timing_mean=None, wall_time=None, full=False):
+def write_bench(results_dir, name, *, timing_mean=None, wall_time=None,
+                full=False, telemetry=None):
     payload = {
         "name": name,
         "fidelity": {"full": full},
@@ -23,6 +25,8 @@ def write_bench(results_dir, name, *, timing_mean=None, wall_time=None, full=Fal
         payload["metrics"]["wall_time"] = wall_time
     if timing_mean is not None:
         payload["timing"] = {"mean": timing_mean, "rounds": 3}
+    if telemetry is not None:
+        payload["metrics"]["telemetry"] = telemetry
     save_envelope(results_dir / f"BENCH_{name}.json", "benchmark", payload)
 
 
@@ -45,6 +49,28 @@ class TestWallTimeOf:
         assert wall_time_of({"timing": {"mean": 0.0}}) is None
 
 
+class TestUtilizationOf:
+    def test_extracts_mean_util_and_total_tasks(self):
+        payload = {
+            "metrics": {
+                "telemetry": {
+                    "worker_utilization": {"0": 0.5, "1": 0.7},
+                    "worker_tasks": {"0": 3, "1": 5},
+                }
+            }
+        }
+        assert utilization_of(payload) == {"util": 0.6, "tasks": 8}
+
+    def test_none_without_worker_telemetry(self):
+        assert utilization_of({"metrics": {}}) is None
+        assert utilization_of({"metrics": {"wall_time": 1.0}}) is None
+        assert utilization_of({}) is None
+
+    def test_tasks_omitted_when_unrecorded(self):
+        payload = {"metrics": {"worker_utilization": {"0": 0.25}}}
+        assert utilization_of(payload) == {"util": 0.25}
+
+
 class TestRecordSnapshot:
     def test_appends_with_increasing_run_index(self, tmp_path):
         write_bench(tmp_path, "alpha", timing_mean=1.0)
@@ -58,6 +84,21 @@ class TestRecordSnapshot:
         # deterministic: no timestamps anywhere
         for line in (tmp_path / "TREND.jsonl").read_text().splitlines():
             assert set(json.loads(line)) == {"run", "name", "wall", "full"}
+
+    def test_snapshot_carries_worker_utilization(self, tmp_path):
+        write_bench(
+            tmp_path,
+            "pooled",
+            wall_time=2.0,
+            telemetry={
+                "worker_utilization": {"0": 0.8, "1": 0.6},
+                "worker_tasks": {"0": 10, "1": 9},
+            },
+        )
+        assert record_snapshot(tmp_path) == 1
+        (entry,) = load_history(tmp_path / "TREND.jsonl")
+        assert entry["util"] == pytest.approx(0.7)
+        assert entry["tasks"] == 19
 
     def test_skips_untimed_and_corrupt_envelopes(self, tmp_path):
         write_bench(tmp_path, "untimed")
@@ -118,3 +159,20 @@ class TestAnalyze:
         report = analyze([])
         assert report.findings == []
         assert "no benchmark history" in report.render()
+
+    def test_latest_utilization_surfaces_in_findings(self):
+        history = [
+            self.entry(1, "a", 1.0),
+            dict(self.entry(2, "a", 1.1), util=0.85, tasks=12),
+        ]
+        (finding,) = analyze(history).findings
+        assert finding.util == pytest.approx(0.85)
+        assert finding.tasks == 12
+        rendered = finding.render()
+        assert "85% worker util" in rendered
+        assert "12 task(s)" in rendered
+
+    def test_util_absent_renders_plain(self):
+        (finding,) = analyze([self.entry(1, "a", 1.0)]).findings
+        assert finding.util is None
+        assert "worker util" not in finding.render()
