@@ -78,10 +78,16 @@ def results_dir():
 
 @pytest.fixture
 def trial_runner():
-    """A REPRO_WORKERS-wide TrialRunner; telemetry feeds BENCH json."""
+    """A REPRO_WORKERS-wide TrialRunner; telemetry feeds BENCH json.
+
+    Span profiling is on so published telemetry carries the per-layer
+    wall-time breakdown (``layer_times``), which bench-trend folds into
+    TREND.jsonl.  Profiling is observational — simulated results are
+    bit-identical with it off.
+    """
     from repro.exec import TrialRunner
 
-    return TrialRunner(workers=WORKERS)
+    return TrialRunner(workers=WORKERS, profile=True)
 
 
 @pytest.fixture

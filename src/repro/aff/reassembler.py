@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 
 from ..net.checksum import ChecksumFn, fletcher16
 from ..net.reassembly import ReassemblyBuffer
+from ..obs.spans import active_profiler
 from .wire import DataFragment, Fragment, IntroFragment
 
 __all__ = ["Reassembler", "ReassemblerStats"]
@@ -83,6 +84,8 @@ class Reassembler:
             timeout=timeout, max_entries=max_entries
         )
         self._delivered: List[bytes] = []
+        # Observational-only span profiling, bound at construction.
+        self._profiler = active_profiler()
 
     # ------------------------------------------------------------------
     @property
@@ -107,6 +110,15 @@ class Reassembler:
         * overlapping spans with different bytes,
         * a completed packet whose checksum fails.
         """
+        prof = self._profiler
+        if prof is None:
+            return self._accept(fragment, now)
+        t0 = prof.clock()
+        payload = self._accept(fragment, now)
+        prof.add("aff.reassemble", prof.clock() - t0)
+        return payload
+
+    def _accept(self, fragment: Fragment, now: float) -> Optional[bytes]:
         self.stats.evictions += self._buffer.evict_stale(now)
         if not isinstance(fragment, (IntroFragment, DataFragment)):
             # Control fragments (e.g. collision notifications) carry no

@@ -55,6 +55,7 @@ from . import wire_rules as wire_rules
 from . import seed_rules as seed_rules
 from . import exec_rules as exec_rules
 from . import purity as purity
+from . import obs_rules as obs_rules
 
 __all__ = [
     "Baseline",

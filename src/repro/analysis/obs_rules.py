@@ -1,0 +1,84 @@
+"""Rule pack 6 — observability invariants.
+
+Trace categories and span names are the *schema* of the observability
+layer: ``repro obs summary`` groups records by category, span summaries
+from different runs are compared field-by-field, and ``bench-trend``
+folds span names into layer buckets by their first dotted component.
+That only works when the vocabulary is closed — discoverable by grep,
+stable across runs, never assembled at runtime.
+
+========  ==========================================================
+OBS001    a trace/span category argument (``recorder.emit(t, cat)``,
+          ``writer.emit(t, cat)``, ``span(name)`` /
+          ``prof.span(name)``) is not a string literal
+========  ==========================================================
+
+``SpanProfiler.add(name, seconds)`` is deliberately exempt: it is the
+aggregation primitive that instrumentation plumbing (e.g. the
+simulator's per-layer dispatch spans) feeds with *derived* names, and
+those derivations own their naming discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .core import Finding, ModuleContext, Rule, register
+
+__all__ = ["TraceCategoryLiteralRule"]
+
+
+def _category_arg(call: ast.Call) -> Optional[ast.expr]:
+    """The category/name argument of a trace-vocabulary call, if any.
+
+    ``emit`` takes it second (``emit(time, category, **fields)``),
+    ``span`` first (``span(name)``).
+    """
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+    elif isinstance(func, ast.Name):
+        attr = func.id
+    else:
+        return None
+    if attr == "emit":
+        if len(call.args) >= 2:
+            return call.args[1]
+        for keyword in call.keywords:
+            if keyword.arg == "category":
+                return keyword.value
+        return None
+    if attr == "span":
+        if call.args:
+            return call.args[0]
+        for keyword in call.keywords:
+            if keyword.arg == "name":
+                return keyword.value
+    return None
+
+
+@register
+class TraceCategoryLiteralRule(Rule):
+    rule_id = "OBS001"
+    description = (
+        "trace/span category must be a string literal at the call site, "
+        "keeping the trace vocabulary closed and grep-able"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            arg = _category_arg(node)
+            if arg is None:
+                continue
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                continue
+            yield ctx.finding(
+                self,
+                arg,
+                "trace/span category is computed at runtime; pass a "
+                "string literal so the category vocabulary stays closed "
+                "(grep-able, comparable across runs)",
+            )

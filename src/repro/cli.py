@@ -68,6 +68,11 @@ def _add_exec_flags(sub: argparse.ArgumentParser, default_cache: Optional[str] =
         "--no-pool", dest="pool", action="store_false",
         help="force per-run forked workers (the default)",
     )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="profile per-layer wall time inside trials (observational "
+        "only; summaries land in telemetry and obs summaries)",
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> TrialRunner:
@@ -78,7 +83,12 @@ def _make_runner(args: argparse.Namespace) -> TrialRunner:
     workers = getattr(args, "workers", 1)
     if getattr(args, "pool", False):
         pool = WorkerPool(workers=max(2, workers))
-    return TrialRunner(workers=workers, cache=cache, pool=pool)
+    return TrialRunner(
+        workers=workers,
+        cache=cache,
+        pool=pool,
+        profile=getattr(args, "profile", False),
+    )
 
 
 def _finish_exec(runner: TrialRunner, args: argparse.Namespace) -> None:
@@ -484,6 +494,17 @@ def build_parser() -> argparse.ArgumentParser:
     trd.add_argument("--no-record", dest="record", action="store_false",
                      help="compare the existing history only")
     trd.set_defaults(func=_cmd_bench_trend)
+
+    obs = sub.add_parser(
+        "obs",
+        help="record, summarize, and diff structured traces (repro.obs)",
+    )
+    # Deferred import: repro.obs.envelope pulls in the exec transport;
+    # the obs CLI wires itself onto this parser to keep the dependency
+    # one-directional at import time.
+    from .obs.cli import configure_parser as _configure_obs
+
+    _configure_obs(obs)
 
     return parser
 

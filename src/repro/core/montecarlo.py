@@ -35,12 +35,15 @@ import base64
 import bisect
 import heapq
 import math
+import pathlib
 import random
 import struct
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs.spans import span
 from ..sim.rng import fallback_stream
+from ..sim.trace import TraceRecord
 from .identifiers import IdentifierSpace
 from .transactions import TransactionLog
 
@@ -235,6 +238,103 @@ def _simulate_collision_rate_reference(
 
 
 # ----------------------------------------------------------------------
+# Trace export (observational; see repro.obs)
+# ----------------------------------------------------------------------
+def _segment_records(
+    starts: Sequence[float],
+    durations: Sequence[float],
+    identifiers: Sequence[int],
+    segment: int,
+) -> Iterator[TraceRecord]:
+    """One segment's ``txn.begin`` / ``txn.end`` records, in event order.
+
+    Events sort by ``(time, kind)`` with ends before same-time begins —
+    the historical reference pipeline's stable sort — so the exported
+    stream is a pure function of the segment's arrivals, independent of
+    which worker (or how many) computed it.
+    """
+    events: List[Tuple[float, int, int]] = []
+    for seq in range(len(starts)):
+        events.append((starts[seq], 1, seq))
+        events.append((starts[seq] + durations[seq], 0, seq))
+    events.sort(key=lambda event: (event[0], event[1]))
+    for when, kind, seq in events:
+        if kind == 1:
+            yield TraceRecord(
+                when,
+                "txn.begin",
+                {"segment": segment, "owner": seq, "id": identifiers[seq]},
+            )
+        else:
+            yield TraceRecord(
+                when, "txn.end", {"segment": segment, "owner": seq}
+            )
+
+
+def _collision_records(
+    segments: Sequence[Dict[str, object]]
+) -> Iterator[TraceRecord]:
+    """``txn.collision`` records for every flagged transaction.
+
+    Emitted from the parent's post-stitch flag sets (local flags plus
+    cross-boundary ones), in (segment, index) order — which is also
+    time order, since segment windows and within-segment starts both
+    ascend.
+    """
+    for index, segment in enumerate(segments):
+        starts = segment["starts"]
+        identifiers = segment["identifiers"]
+        for k in sorted(segment["flagged"]):  # type: ignore[arg-type]
+            yield TraceRecord(
+                starts[k],  # type: ignore[index]
+                "txn.collision",
+                {"segment": index, "owner": k, "id": identifiers[k]},  # type: ignore[index]
+            )
+
+
+def _write_merged_trace(
+    spool: pathlib.Path,
+    streams: Sequence[object],
+    meta: Dict[str, object],
+) -> None:
+    """Merge record streams into ``<spool>/trace.jsonl``.
+
+    The merged order is keyed ``(time, stream rank, position)`` — see
+    :mod:`repro.obs.merge` — so the bytes depend only on the streams'
+    contents, never on worker scheduling.  Meta deliberately excludes
+    worker/pool configuration: traces from a serial and a pooled run of
+    the same scenario must be byte-identical, header included.
+    """
+    from ..obs.envelope import TraceWriter
+    from ..obs.merge import merge_streams
+
+    with TraceWriter(spool / "trace.jsonl", meta=meta) as writer:
+        for record in merge_streams(streams):  # type: ignore[arg-type]
+            writer.write(record)
+
+
+def _trace_meta(
+    id_bits: int,
+    arrival_rate: float,
+    duration_sampler: DurationSampler,
+    horizon: float,
+    warmup: float,
+    seed: Optional[int],
+    shards: int,
+) -> Dict[str, object]:
+    return {
+        "scenario": "montecarlo",
+        "id_bits": id_bits,
+        "arrival_rate": arrival_rate,
+        "duration_sampler": repr(duration_sampler),
+        "horizon": horizon,
+        "warmup": warmup,
+        "seed": seed,
+        "shards": shards,
+    }
+
+
+# ----------------------------------------------------------------------
 # Horizon sharding
 # ----------------------------------------------------------------------
 def _pack_floats(values: Sequence[float]) -> str:
@@ -267,6 +367,7 @@ def _montecarlo_segment(
     shards: int,
     index: int,
     seed: int,
+    trace_path: Optional[str] = None,
 ) -> Dict[str, object]:
     """Generate and locally replay one horizon segment.
 
@@ -277,17 +378,32 @@ def _montecarlo_segment(
     identifiers, the indices flagged by the *local* replay, the
     boundary-crossing tail, and density aggregates.  Cross-segment
     collisions are the parent's stitching job.
+
+    With ``trace_path`` the segment also streams its begin/end records
+    into a trace shard there (see :mod:`repro.obs.envelope`) —
+    observational only, and written by whichever process computes the
+    segment.
     """
     rng = random.Random(seed)
     lo, hi = _segment_bounds(horizon, shards, index)
     space = IdentifierSpace(id_bits)
-    starts, durations = _generate_arrivals(
-        arrival_rate, duration_sampler, rng, lo, hi
-    )
-    sample = space.sample
-    identifiers = [sample(rng) for _ in starts]
+    with span("core.sample"):
+        starts, durations = _generate_arrivals(
+            arrival_rate, duration_sampler, rng, lo, hi
+        )
+        sample = space.sample
+        identifiers = [sample(rng) for _ in starts]
     log = TransactionLog()
-    _replay(starts, durations, identifiers, log, warmup=0.0)
+    with span("core.replay"):
+        _replay(starts, durations, identifiers, log, warmup=0.0)
+    if trace_path is not None:
+        from ..obs.envelope import write_trace
+
+        write_trace(
+            trace_path,
+            _segment_records(starts, durations, identifiers, index),
+            meta={"segment": index, "shards": shards},
+        )
     flagged = [
         seq for seq, txn in enumerate(log.transactions) if log.collided(txn)
     ]
@@ -390,28 +506,37 @@ def _simulate_sharded(
     seed: int,
     shards: int,
     runner,
+    trace_spool: Optional[str] = None,
 ) -> MonteCarloResult:
     """Sharded trial: fan segments out, stitch boundaries, aggregate."""
     from ..exec import ExecError, TrialRunner, TrialSpec
     from ..exec.keys import segment_seed
 
     runner = runner if runner is not None else TrialRunner()
-    specs = [
-        TrialSpec(
-            fn=_montecarlo_segment,
-            kwargs=dict(
-                id_bits=id_bits,
-                arrival_rate=arrival_rate,
-                duration_sampler=duration_sampler,
-                horizon=horizon,
-                shards=shards,
-                index=index,
-                seed=segment_seed(seed, index),
-            ),
-            label=f"segment:{index}",
+    spool: Optional[pathlib.Path] = None
+    if trace_spool is not None:
+        spool = pathlib.Path(trace_spool)
+        spool.mkdir(parents=True, exist_ok=True)
+    specs = []
+    for index in range(shards):
+        kwargs = dict(
+            id_bits=id_bits,
+            arrival_rate=arrival_rate,
+            duration_sampler=duration_sampler,
+            horizon=horizon,
+            shards=shards,
+            index=index,
+            seed=segment_seed(seed, index),
         )
-        for index in range(shards)
-    ]
+        if spool is not None:
+            kwargs["trace_path"] = str(spool / f"segment-{index:04d}.jsonl")
+        specs.append(
+            TrialSpec(
+                fn=_montecarlo_segment,
+                kwargs=kwargs,
+                label=f"segment:{index}",
+            )
+        )
     outcomes = runner.run(specs)
     failed = [o.failure for o in outcomes if not o.ok]
     if failed:
@@ -422,6 +547,27 @@ def _simulate_sharded(
     segments = [_unpack_segment(outcome.value) for outcome in outcomes]
     cuts = [(horizon * index) / shards for index in range(shards + 1)]
     _stitch_segments(segments, cuts)
+    if spool is not None:
+        from ..obs.envelope import read_trace
+
+        streams: List[object] = [
+            read_trace(spool / f"segment-{index:04d}.jsonl")
+            for index in range(shards)
+        ]
+        streams.append(_collision_records(segments))
+        _write_merged_trace(
+            spool,
+            streams,
+            _trace_meta(
+                id_bits,
+                arrival_rate,
+                duration_sampler,
+                horizon,
+                warmup,
+                seed,
+                shards,
+            ),
+        )
 
     # Aggregate from the segments' pre-computed sums/maxima — a Python
     # per-transaction loop here would eat the latency the sharding just
@@ -469,6 +615,7 @@ def simulate_collision_rate(
     shards: int = 1,
     seed: Optional[int] = None,
     runner=None,
+    trace_spool: Optional[str] = None,
 ) -> MonteCarloResult:
     """Ground-truth collision rate under Poisson arrivals.
 
@@ -500,6 +647,13 @@ def simulate_collision_rate(
         Optional :class:`repro.exec.TrialRunner`; with ``shards > 1``
         segments fan out across its workers.  Worker count never
         changes the result.
+    trace_spool:
+        Optional directory; when given, the run exports its transaction
+        stream as a versioned trace at ``<trace_spool>/trace.jsonl``
+        (plus per-segment shards when sharded) — see :mod:`repro.obs`.
+        Observational only: the returned result is bit-identical with
+        tracing on or off, and the trace bytes are a pure function of
+        ``(seed, shards)``, never of worker count or pooling.
 
     Each transaction gets a fresh owner id, so same-owner reuse (which
     the ground-truth log exempts) never occurs — matching the model's
@@ -528,6 +682,7 @@ def simulate_collision_rate(
             seed,
             shards,
             runner,
+            trace_spool=trace_spool,
         )
 
     if rng is None:
@@ -536,12 +691,36 @@ def simulate_collision_rate(
         )
     space = IdentifierSpace(id_bits)
     log = TransactionLog()
-    starts, durations = _generate_arrivals(
-        arrival_rate, duration_sampler, rng, 0.0, horizon
-    )
-    sample = space.sample
-    identifiers = [sample(rng) for _ in starts]
-    tracked = _replay(starts, durations, identifiers, log, warmup)
+    with span("core.sample"):
+        starts, durations = _generate_arrivals(
+            arrival_rate, duration_sampler, rng, 0.0, horizon
+        )
+        sample = space.sample
+        identifiers = [sample(rng) for _ in starts]
+    with span("core.replay"):
+        tracked = _replay(starts, durations, identifiers, log, warmup)
+
+    if trace_spool is not None:
+        spool = pathlib.Path(trace_spool)
+        spool.mkdir(parents=True, exist_ok=True)
+        flagged = {
+            seq for seq, txn in enumerate(log.transactions) if log.collided(txn)
+        }
+        pseudo: Dict[str, object] = {
+            "starts": starts,
+            "identifiers": identifiers,
+            "flagged": flagged,
+        }
+        _write_merged_trace(
+            spool,
+            [
+                _segment_records(starts, durations, identifiers, 0),
+                _collision_records([pseudo]),
+            ],
+            _trace_meta(
+                id_bits, arrival_rate, duration_sampler, horizon, warmup, seed, 1
+            ),
+        )
 
     if not tracked:
         return MonteCarloResult(

@@ -177,7 +177,10 @@ def decode_pool_value(value: Any) -> Any:
 
 
 def spec_payload(
-    spec: TrialSpec, timeout: Optional[float], retries: int
+    spec: TrialSpec,
+    timeout: Optional[float],
+    retries: int,
+    profile: bool = False,
 ) -> Optional[Dict[str, Any]]:
     """The task frame for ``spec``, or None if it cannot be pooled."""
     fn_ref = _callable_ref(spec.fn)
@@ -189,13 +192,16 @@ def spec_payload(
         }
     except NotPoolable:
         return None
-    return {
+    payload: Dict[str, Any] = {
         "op": "task",
         "fn": fn_ref,
         "kwargs": kwargs,
         "timeout": timeout,
         "retries": retries,
     }
+    if profile:
+        payload["profile"] = True
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -247,7 +253,11 @@ def _worker_main(reader_fd: int, writer_fd: int, worker_id: int) -> None:
                 }
             else:
                 message = execute_call(
-                    fn, kwargs, task.get("timeout"), int(task.get("retries", 0))
+                    fn,
+                    kwargs,
+                    task.get("timeout"),
+                    int(task.get("retries", 0)),
+                    profile=bool(task.get("profile", False)),
                 )
             message["index"] = index
             message["worker"] = worker_id
@@ -406,6 +416,7 @@ class WorkerPool:
         pending: Sequence[int],
         timeout: Optional[float] = None,
         retries: int = 0,
+        profile: bool = False,
     ) -> Tuple[Dict[int, Dict[str, Any]], List[int]]:
         """Run the poolable subset of ``pending``; return the rest.
 
@@ -421,7 +432,7 @@ class WorkerPool:
         poolable: List[Tuple[int, Dict[str, Any]]] = []
         unpoolable: List[int] = []
         for index in pending:
-            payload = spec_payload(specs[index], timeout, retries)
+            payload = spec_payload(specs[index], timeout, retries, profile=profile)
             if payload is None:
                 unpoolable.append(index)
             else:

@@ -50,6 +50,7 @@ from typing import (
     Tuple,
 )
 
+from ..obs.spans import SpanProfiler, profiling
 from .cache import ResultCache
 from .telemetry import RunTelemetry, TrialRecord
 
@@ -195,6 +196,7 @@ def execute_call(
     kwargs: Mapping[str, Any],
     timeout: Optional[float],
     retries: int,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Run ``fn(**kwargs)`` with deadline + bounded retry; return a message.
 
@@ -205,15 +207,27 @@ def execute_call(
     encoded form contains no transport tags, letting the parent skip
     the Python-level decode walk (a real cost when a sharded trial
     ships hundreds of kilobytes of packed segment data).
+
+    With ``profile`` a fresh :class:`repro.obs.spans.SpanProfiler` is
+    active around the trial call, and the successful message carries its
+    span table under ``"spans"`` — that is how per-layer wall time
+    crosses the process boundary from workers back to the parent's
+    telemetry.  Profiling is observational: the trial's value is
+    identical either way.
     """
     attempts = 0
     skipped = _deadline_unusable(timeout)
     while True:
         attempts += 1
+        prof = SpanProfiler() if profile else None
         t0 = time.perf_counter()
         try:
             with _deadline(timeout):
-                value = fn(**dict(kwargs))
+                if prof is not None:
+                    with profiling(prof):
+                        value = fn(**dict(kwargs))
+                else:
+                    value = fn(**dict(kwargs))
             encoded = encode_jsonable(value)
             text = json.dumps(encoded, allow_nan=False)  # transportability gate
             message: Dict[str, Any] = {
@@ -226,6 +240,9 @@ def execute_call(
                 message["plain"] = True
             if skipped:
                 message["deadline_skipped"] = skipped
+            if prof is not None:
+                prof.add("exec.trial", message["duration"])
+                message["spans"] = prof.to_json()
             return message
         except Exception as exc:
             if attempts <= retries:
@@ -272,6 +289,11 @@ class TrialRunner:
         pool, a per-run fork, or in-process never changes its result —
         all three paths share the same transport encoding.  The caller
         owns the pool's lifecycle (use it as a context manager).
+    profile:
+        When True every trial runs under a span profiler and its
+        per-layer wall times flow into :attr:`telemetry` (and across
+        worker pipes for forked/pooled trials).  Observational only —
+        results are bit-identical with profiling on or off.
     """
 
     def __init__(
@@ -281,6 +303,7 @@ class TrialRunner:
         timeout: Optional[float] = None,
         retries: int = 0,
         pool: Optional["WorkerPool"] = None,
+        profile: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -291,6 +314,7 @@ class TrialRunner:
         self.timeout = timeout
         self.retries = retries
         self.pool = pool
+        self.profile = profile
         #: cumulative telemetry over every :meth:`run` on this runner
         self.telemetry = RunTelemetry(workers=workers)
         #: telemetry of the most recent :meth:`run` only
@@ -321,7 +345,11 @@ class TrialRunner:
         if pending:
             if self.pool is not None and hasattr(os, "fork"):
                 messages, unpooled = self.pool.run_specs(
-                    specs, pending, timeout=self.timeout, retries=self.retries
+                    specs,
+                    pending,
+                    timeout=self.timeout,
+                    retries=self.retries,
+                    profile=self.profile,
                 )
                 telemetry.pool_batches += 1
                 telemetry.pool_respawns += self.pool.take_respawns()
@@ -373,7 +401,9 @@ class TrialRunner:
 
     # ------------------------------------------------------------------
     def _execute_one(self, spec: TrialSpec) -> Dict[str, Any]:
-        return execute_call(spec.fn, spec.kwargs, self.timeout, self.retries)
+        return execute_call(
+            spec.fn, spec.kwargs, self.timeout, self.retries, profile=self.profile
+        )
 
     def _run_serial(
         self, specs: Sequence[TrialSpec], pending: Sequence[int]
@@ -488,6 +518,9 @@ class TrialRunner:
                 )
                 continue
             if message["ok"]:
+                spans = message.get("spans")
+                if telemetry is not None and spans:
+                    telemetry.add_spans(spans)
                 # "plain" payloads carry no transport tags; skip the
                 # Python-level decode walk (hot for packed segments).
                 outcomes[index] = TrialOutcome(

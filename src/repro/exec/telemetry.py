@@ -17,6 +17,8 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
+from ..obs.spans import layer_breakdown
+
 __all__ = ["RunTelemetry", "TrialRecord"]
 
 
@@ -73,6 +75,9 @@ class RunTelemetry:
     worker_busy: Dict[int, float] = field(default_factory=dict)
     #: trials served by each worker, keyed by id
     worker_tasks: Dict[int, int] = field(default_factory=dict)
+    #: span wall-time table ({name: {count,total,min,max}}) folded in
+    #: from profiled trials (see :mod:`repro.obs.spans`)
+    spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
     records: List[TrialRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -91,6 +96,26 @@ class RunTelemetry:
             self.worker_tasks[record.worker] = (
                 self.worker_tasks.get(record.worker, 0) + 1
             )
+
+    def add_spans(self, spans: Dict[str, Dict[str, float]]) -> None:
+        """Fold a trial's span table (from a profiled message) in."""
+        for name, stats in spans.items():
+            count = float(stats.get("count", 0.0))
+            if count <= 0:
+                continue
+            into = self.spans.get(name)
+            if into is None:
+                self.spans[name] = dict(stats)
+                continue
+            prior = float(into.get("count", 0.0))
+            into["count"] = prior + count
+            into["total"] = float(into.get("total", 0.0)) + float(
+                stats.get("total", 0.0)
+            )
+            if prior <= 0 or float(stats["min"]) < float(into["min"]):
+                into["min"] = float(stats["min"])
+            if prior <= 0 or float(stats["max"]) > float(into["max"]):
+                into["max"] = float(stats["max"])
 
     def shard_timings(self) -> Dict[str, float]:
         """Per-segment wall times of a sharded trial, keyed by label.
@@ -136,12 +161,14 @@ class RunTelemetry:
             self.worker_busy[worker] = self.worker_busy.get(worker, 0.0) + busy
         for worker, tasks in other.worker_tasks.items():
             self.worker_tasks[worker] = self.worker_tasks.get(worker, 0) + tasks
+        if other.spans:
+            self.add_spans(other.spans)
         self.records.extend(other.records)
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:
         """The headline numbers, without the per-trial detail."""
-        return {
+        out: Dict[str, Any] = {
             "wall_time": round(self.wall_time, 6),
             "trials": self.trials,
             "computed": self.computed,
@@ -168,6 +195,16 @@ class RunTelemetry:
                 for label, value in self.shard_timings().items()
             },
         }
+        if self.spans:
+            out["spans"] = {
+                name: {key: round(value, 6) for key, value in stats.items()}
+                for name, stats in sorted(self.spans.items())
+            }
+            out["layer_times"] = {
+                layer: round(total, 6)
+                for layer, total in layer_breakdown(self.spans).items()
+            }
+        return out
 
     def to_json(self) -> Dict[str, Any]:
         out = self.summary()

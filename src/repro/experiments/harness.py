@@ -42,6 +42,7 @@ from ..radio.medium import BroadcastMedium
 from ..radio.radio import Radio
 from ..sim.engine import Simulator
 from ..sim.rng import RngRegistry
+from ..sim.trace import TraceRecorder
 from ..topology.graphs import FullMesh, Topology
 from .results import aggregate_trials
 
@@ -139,8 +140,17 @@ def _make_selector(config: CollisionTrialConfig, rng: random.Random, shared_orac
     return OracleSelector(space, rng, active=shared_oracle)
 
 
-def run_collision_trial(config: CollisionTrialConfig) -> TrialResult:
-    """Run one trial and report the paper's Figure 4 observables."""
+def run_collision_trial(
+    config: CollisionTrialConfig,
+    recorder: Optional[TraceRecorder] = None,
+) -> TrialResult:
+    """Run one trial and report the paper's Figure 4 observables.
+
+    ``recorder`` optionally captures the medium's frame-level trace
+    stream (``frame.tx`` / ``frame.rx`` / ``frame.drop``) for export via
+    :mod:`repro.obs` — observational only, results are identical with
+    or without it.
+    """
     rngs = RngRegistry(config.seed)
     sim = Simulator()
     topology = _build_topology(config)
@@ -150,6 +160,7 @@ def run_collision_trial(config: CollisionTrialConfig) -> TrialResult:
         bitrate=config.bitrate,
         rf_collisions=config.rf_collisions,
         channel_factory=config.channel_factory,
+        recorder=recorder,
         rng=rngs.stream("medium"),
     )
     txn_log = TransactionLog()

@@ -30,6 +30,7 @@ __all__ = [
     "TrendFinding",
     "TrendReport",
     "analyze",
+    "layers_of",
     "load_history",
     "record_snapshot",
     "utilization_of",
@@ -107,6 +108,33 @@ def utilization_of(payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
     return None
 
 
+def layers_of(payload: Dict[str, Any]) -> Optional[Dict[str, float]]:
+    """Per-layer wall-time breakdown of one ``BENCH_*.json`` payload.
+
+    Benchmarks run with span profiling on (see :mod:`repro.obs.spans`)
+    carry a ``layer_times`` dict in their telemetry summary; this pulls
+    it out so the trend history records *where* each run's wall time
+    went, not just how much there was.  None when absent or all-zero.
+    """
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        return None
+    for probe in (metrics, metrics.get("telemetry"), metrics.get("execution")):
+        if not isinstance(probe, dict):
+            continue
+        layers = probe.get("layer_times")
+        if not isinstance(layers, dict) or not layers:
+            continue
+        out = {
+            str(layer): float(total)
+            for layer, total in layers.items()
+            if isinstance(total, (int, float))
+        }
+        if out and any(total > 0 for total in out.values()):
+            return out
+    return None
+
+
 def load_history(history_path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
     """Parse the JSONL history; unparseable lines are dropped."""
     path = pathlib.Path(history_path)
@@ -163,6 +191,11 @@ def record_snapshot(
         utilization = utilization_of(payload)
         if utilization is not None:
             entry.update(utilization)
+        layers = layers_of(payload)
+        if layers is not None:
+            entry["layers"] = {
+                layer: round(total, 6) for layer, total in sorted(layers.items())
+            }
         lines.append(json.dumps(entry, sort_keys=True))
     if lines:
         history.parent.mkdir(parents=True, exist_ok=True)
@@ -185,6 +218,8 @@ class TrendFinding:
     util: Optional[float] = None
     #: total tasks served by workers in the latest run, when recorded
     tasks: Optional[int] = None
+    #: per-layer wall-time breakdown of the latest run, when recorded
+    layers: Optional[Dict[str, float]] = None
 
     def render(self) -> str:
         extra = ""
@@ -192,6 +227,19 @@ class TrendFinding:
             extra = f", {self.util:.0%} worker util"
             if self.tasks is not None:
                 extra += f" over {self.tasks} task(s)"
+        if self.layers:
+            hot = sorted(
+                (
+                    (layer, total)
+                    for layer, total in self.layers.items()
+                    if total > 0
+                ),
+                key=lambda item: (-item[1], item[0]),
+            )
+            if hot:
+                extra += " [" + ", ".join(
+                    f"{layer} {total:.3f}s" for layer, total in hot[:3]
+                ) + "]"
         if self.baseline is None:
             return f"{self.name}: {self.latest:.4f}s (first recorded run){extra}"
         verdict = "REGRESSED" if self.regressed else "ok"
@@ -247,6 +295,8 @@ def analyze(
         tasks = newest.get("tasks")
         util = float(util) if isinstance(util, (int, float)) else None
         tasks = int(tasks) if isinstance(tasks, (int, float)) else None
+        layers = newest.get("layers")
+        layers = dict(layers) if isinstance(layers, dict) and layers else None
         earlier = [float(e["wall"]) for e in entries[:-1]]
         if not earlier:
             report.findings.append(
@@ -258,6 +308,7 @@ def analyze(
                     regressed=False,
                     util=util,
                     tasks=tasks,
+                    layers=layers,
                 )
             )
             continue
@@ -272,6 +323,7 @@ def analyze(
                 regressed=ratio > threshold,
                 util=util,
                 tasks=tasks,
+                layers=layers,
             )
         )
     return report

@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.spans import active_profiler
 from ..sim.engine import Simulator
 from ..sim.rng import fallback_stream
 from ..sim.trace import NullRecorder, TraceRecorder
@@ -114,6 +115,8 @@ class BroadcastMedium:
         # longer one still corrupts the longer frame at resolution time.
         self._recent: List[Transmission] = []
         self.stats = MediumStats()
+        # Observational-only span profiling, bound at construction.
+        self._profiler = active_profiler()
 
     # ------------------------------------------------------------------
     # Attachment
@@ -157,6 +160,15 @@ class BroadcastMedium:
         Delivery (or drop) at each in-range receiver resolves at the
         frame's end-of-transmission instant.
         """
+        prof = self._profiler
+        if prof is None:
+            return self._transmit(frame)
+        t0 = prof.clock()
+        airtime = self._transmit(frame)
+        prof.add("radio.transmit", prof.clock() - t0)
+        return airtime
+
+    def _transmit(self, frame: Frame) -> float:
         start = self.sim.now
         end = start + self.airtime(frame)
         txn = Transmission(frame=frame, start=start, end=end)

@@ -28,7 +28,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional
+
+from ..obs.spans import active_profiler, layer_of_module
 
 __all__ = [
     "EventHandle",
@@ -107,6 +109,11 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        # Span profiling is bound at construction (observational only:
+        # nothing in the dispatch path reads the measurements).  When no
+        # profiler is active the run loop pays one None-check per event.
+        self._profiler = active_profiler()
+        self._span_names: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Clock
@@ -180,9 +187,25 @@ class Simulator:
             self._now = entry.time
             handle.cancelled = True  # mark as fired; no longer cancellable
             self._events_processed += 1
-            handle.callback(*handle.args)
+            prof = self._profiler
+            if prof is None:
+                handle.callback(*handle.args)
+            else:
+                t0 = prof.clock()
+                handle.callback(*handle.args)
+                prof.add(self._dispatch_span(handle.callback), prof.clock() - t0)
             return True
         return False
+
+    def _dispatch_span(self, callback: Callable[..., Any]) -> str:
+        """Span name for a dispatched callback, by its defining layer."""
+        module = getattr(callback, "__module__", "") or ""
+        name = self._span_names.get(module)
+        if name is None:
+            name = self._span_names[module] = (
+                layer_of_module(module) + ".dispatch"
+            )
+        return name
 
     def run(
         self,

@@ -5,14 +5,35 @@ O(1) memory (Welford's algorithm for mean/variance), and
 :class:`TimeWeightedValue` integrates a piecewise-constant signal over
 simulated time — used e.g. for "average number of concurrent
 transactions", the paper's transaction density ``T``.
+
+Every monitor round-trips through JSON (``to_json`` / ``from_json``):
+the payload restores the *exact* internal state, so a monitor serialised
+mid-run and restored continues bit-identically.  Non-finite floats are
+encoded as the strings ``"nan"`` / ``"inf"`` / ``"-inf"`` (strict JSON
+has no spelling for them); the codec lives here rather than reusing the
+exec transport because :mod:`repro.sim` sits below :mod:`repro.exec` in
+the layering.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 __all__ = ["Counter", "RunningStats", "TimeWeightedValue", "Histogram"]
+
+
+def _enc(value: float) -> Union[float, str]:
+    """A float as strict JSON: non-finite values become strings."""
+    if value != value:
+        return "nan"
+    if value in (math.inf, -math.inf):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _dec(value: Union[float, int, str]) -> float:
+    return float(value)
 
 
 class Counter:
@@ -34,6 +55,17 @@ class Counter:
 
     def __getitem__(self, name: str) -> int:
         return self.get(name)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"counts": dict(self._counts)}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "Counter":
+        counter = cls()
+        counter._counts = {
+            str(name): int(count) for name, count in payload["counts"].items()
+        }
+        return counter
 
 
 class RunningStats:
@@ -87,6 +119,25 @@ class RunningStats:
     def __repr__(self) -> str:
         return f"<RunningStats n={self.n} mean={self.mean:.6g} sd={self.stdev:.6g}>"
 
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "n": self.n,
+            "mean": _enc(self._mean),
+            "m2": _enc(self._m2),
+            "min": _enc(self._min),
+            "max": _enc(self._max),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "RunningStats":
+        stats = cls()
+        stats.n = int(payload["n"])
+        stats._mean = _dec(payload["mean"])
+        stats._m2 = _dec(payload["m2"])
+        stats._min = _dec(payload["min"])
+        stats._max = _dec(payload["max"])
+        return stats
+
 
 class TimeWeightedValue:
     """Time-integral of a piecewise-constant signal.
@@ -139,6 +190,21 @@ class TimeWeightedValue:
         span = end - self._start
         return integral / span if span > 0 else self._value
 
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "start": _enc(self._start),
+            "last_time": _enc(self._last_time),
+            "value": _enc(self._value),
+            "integral": _enc(self._integral),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "TimeWeightedValue":
+        signal = cls(time=_dec(payload["start"]), value=_dec(payload["value"]))
+        signal._last_time = _dec(payload["last_time"])
+        signal._integral = _dec(payload["integral"])
+        return signal
+
 
 class Histogram:
     """Fixed-bin histogram over ``[lo, hi)`` with overflow/underflow bins."""
@@ -175,3 +241,29 @@ class Histogram:
         if total == 0:
             return [0.0] * self.bins
         return [c / total for c in self.counts]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "lo": _enc(self.lo),
+            "hi": _enc(self.hi),
+            "bins": self.bins,
+            "counts": list(self.counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "n": self.n,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "Histogram":
+        hist = cls(_dec(payload["lo"]), _dec(payload["hi"]), int(payload["bins"]))
+        counts = [int(count) for count in payload["counts"]]
+        if len(counts) != hist.bins:
+            raise ValueError(
+                f"histogram payload has {len(counts)} counts for "
+                f"{hist.bins} bins"
+            )
+        hist.counts = counts
+        hist.underflow = int(payload["underflow"])
+        hist.overflow = int(payload["overflow"])
+        hist.n = int(payload["n"])
+        return hist

@@ -14,6 +14,7 @@ fields)``.  Categories used across the reproduction include
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -49,6 +50,7 @@ class TraceRecorder:
         self._records: List[TraceRecord] = []
         self._categories = categories
         self._counts: Dict[str, int] = {}
+        self._recorded: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def emit(self, time: float, category: str, **fields: Any) -> None:
@@ -56,6 +58,7 @@ class TraceRecorder:
         self._counts[category] = self._counts.get(category, 0) + 1
         if self._categories is not None and category not in self._categories:
             return
+        self._recorded[category] = self._recorded.get(category, 0) + 1
         self._records.append(TraceRecord(time=time, category=category, fields=fields))
 
     # ------------------------------------------------------------------
@@ -101,10 +104,42 @@ class TraceRecorder:
         """Drop all stored records and counters."""
         self._records.clear()
         self._counts.clear()
+        self._recorded.clear()
+
+    def emitted_counts(self) -> Dict[str, int]:
+        """Category -> events *emitted*, including category-filtered ones.
+
+        Emission counters are always maintained (they are O(1)), even by
+        :class:`NullRecorder` and for categories a filtered recorder
+        drops — they answer "what happened", not "what was kept".
+        """
+        return dict(self._counts)
+
+    def recorded_counts(self) -> Dict[str, int]:
+        """Category -> records actually *stored* (post category filter).
+
+        For an unfiltered :class:`TraceRecorder` this equals
+        :meth:`emitted_counts`; with a ``categories`` filter it counts
+        only the kept records, and for :class:`NullRecorder` it is
+        empty.
+        """
+        return dict(self._recorded)
 
     def category_counts(self) -> Dict[str, int]:
-        """Mapping of category -> number of emitted events."""
-        return dict(self._counts)
+        """Deprecated alias of :meth:`emitted_counts`.
+
+        The old name conflated two different questions once category
+        filtering existed; call :meth:`emitted_counts` (what happened)
+        or :meth:`recorded_counts` (what was kept) instead.
+        """
+        warnings.warn(
+            "TraceRecorder.category_counts() is deprecated; use "
+            "emitted_counts() (all emitted events) or recorded_counts() "
+            "(stored records only)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.emitted_counts()
 
 
 class NullRecorder(TraceRecorder):

@@ -330,6 +330,66 @@ class TestRngStreamRules:
 
 
 # ----------------------------------------------------------------------
+# Rule pack 6: observability invariants
+# ----------------------------------------------------------------------
+class TestObservabilityRules:
+    def test_obs001_flags_computed_emit_category(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(recorder, kind):\n"
+            "    recorder.emit(0.0, 'frame.' + kind)\n",
+        )
+        assert rule_ids(findings) == ["OBS001"]
+        assert findings[0].line == 2
+
+    def test_obs001_flags_computed_span_name(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from repro.obs.spans import span\n"
+            "def run(layer):\n"
+            "    with span(f'{layer}.dispatch'):\n"
+            "        pass\n",
+        )
+        assert rule_ids(findings) == ["OBS001"]
+
+    def test_obs001_flags_keyword_category(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(recorder, kind):\n"
+            "    recorder.emit(0.0, category=kind)\n",
+        )
+        assert rule_ids(findings) == ["OBS001"]
+
+    def test_obs001_allows_literal_categories(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from repro.obs.spans import span\n"
+            "def run(recorder):\n"
+            "    recorder.emit(0.0, 'frame.tx', size=3)\n"
+            "    with span('radio.transmit'):\n"
+            "        pass\n",
+        )
+        assert findings == []
+
+    def test_obs001_ignores_unrelated_calls(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(profiler, name, value):\n"
+            "    profiler.add(name, value)\n"
+            "    print(name)\n",
+        )
+        assert findings == []
+
+    def test_obs001_inline_suppression(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(recorder, kind):\n"
+            "    recorder.emit(0.0, kind)  # lint: ignore[OBS001]\n",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Suppression and baseline workflow
 # ----------------------------------------------------------------------
 class TestSuppressionAndBaseline:
@@ -484,6 +544,7 @@ class TestShippedTree:
             "WIRE003",
             "RNG001",
             "RNG002",
+            "OBS001",
         } <= ids
 
 
@@ -496,6 +557,6 @@ def test_mypy_strict_on_analysis_and_exec_packages():
 
     stdout, stderr, status = mypy_api.run(
         ["--config-file", str(SRC_ROOT.parent / "setup.cfg"),
-         "-p", "repro.analysis", "-p", "repro.exec"]
+         "-p", "repro.analysis", "-p", "repro.exec", "-p", "repro.obs"]
     )
     assert status == 0, stdout + stderr

@@ -7,6 +7,7 @@ import pytest
 from repro.experiments.persistence import save_envelope
 from repro.experiments.trend import (
     analyze,
+    layers_of,
     load_history,
     record_snapshot,
     utilization_of,
@@ -71,6 +72,24 @@ class TestUtilizationOf:
         assert utilization_of(payload) == {"util": 0.25}
 
 
+class TestLayersOf:
+    def test_extracts_layer_times_from_telemetry(self):
+        payload = {
+            "metrics": {
+                "telemetry": {
+                    "layer_times": {"radio": 0.5, "engine": 0.25, "aff": 0.0}
+                }
+            }
+        }
+        assert layers_of(payload) == {"radio": 0.5, "engine": 0.25, "aff": 0.0}
+
+    def test_none_without_breakdown_or_all_zero(self):
+        assert layers_of({"metrics": {}}) is None
+        assert layers_of({}) is None
+        all_zero = {"metrics": {"layer_times": {"radio": 0.0, "mac": 0.0}}}
+        assert layers_of(all_zero) is None
+
+
 class TestRecordSnapshot:
     def test_appends_with_increasing_run_index(self, tmp_path):
         write_bench(tmp_path, "alpha", timing_mean=1.0)
@@ -99,6 +118,17 @@ class TestRecordSnapshot:
         (entry,) = load_history(tmp_path / "TREND.jsonl")
         assert entry["util"] == pytest.approx(0.7)
         assert entry["tasks"] == 19
+
+    def test_snapshot_carries_layer_breakdown(self, tmp_path):
+        write_bench(
+            tmp_path,
+            "profiled",
+            wall_time=2.0,
+            telemetry={"layer_times": {"radio": 0.51234567, "engine": 0.2}},
+        )
+        assert record_snapshot(tmp_path) == 1
+        (entry,) = load_history(tmp_path / "TREND.jsonl")
+        assert entry["layers"] == {"engine": 0.2, "radio": 0.512346}
 
     def test_skips_untimed_and_corrupt_envelopes(self, tmp_path):
         write_bench(tmp_path, "untimed")
@@ -176,3 +206,18 @@ class TestAnalyze:
         (finding,) = analyze([self.entry(1, "a", 1.0)]).findings
         assert finding.util is None
         assert "worker util" not in finding.render()
+
+    def test_latest_layer_breakdown_surfaces_in_findings(self):
+        history = [
+            self.entry(1, "a", 1.0),
+            dict(
+                self.entry(2, "a", 1.1),
+                layers={"radio": 0.5, "engine": 0.2, "aff": 0.1, "mac": 0.0},
+            ),
+        ]
+        (finding,) = analyze(history).findings
+        assert finding.layers["radio"] == 0.5
+        rendered = finding.render()
+        # Top-3 nonzero layers, hottest first; zero buckets stay out.
+        assert "[radio 0.500s, engine 0.200s, aff 0.100s]" in rendered
+        assert "mac" not in rendered

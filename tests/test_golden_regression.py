@@ -86,6 +86,36 @@ class TestSimulationGoldenValues:
         assert result.would_be_lost == 46
         assert result.received_unique == 356
 
+    def test_observability_changes_no_result_bit(self, trial):
+        """Tracing and span profiling are observational only.
+
+        The same seeded trial run with a live TraceRecorder on the
+        medium *and* a span profiler active must reproduce every golden
+        counter exactly — observability must never perturb a simulated
+        result.
+        """
+        from repro.obs.spans import SpanProfiler, profiling
+        from repro.sim.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        profiler = SpanProfiler()
+        with profiling(profiler):
+            observed = run_collision_trial(
+                CollisionTrialConfig(
+                    id_bits=4, n_senders=5, duration=10.0,
+                    selector="uniform", seed=7,
+                ),
+                recorder=recorder,
+            )
+        assert observed.packets_offered == trial.packets_offered == 356
+        assert observed.received_unique == trial.received_unique
+        assert observed.would_be_lost == trial.would_be_lost == 113
+        assert observed.received_aff == trial.received_aff == 243
+        assert observed.measured_density == trial.measured_density
+        # ... and both instruments actually observed the run.
+        assert recorder.recorded_counts()["frame.tx"] > 0
+        assert any(name.startswith("radio.") for name, _ in profiler.top(50))
+
 
 class TestTrialSeedDerivation:
     """Pin the replicate-seed convention itself.

@@ -1,5 +1,6 @@
 """Unit tests for online statistics."""
 
+import json
 import math
 
 import pytest
@@ -132,3 +133,64 @@ class TestHistogram:
             Histogram(1.0, 0.0, bins=2)
         with pytest.raises(ValueError):
             Histogram(0.0, 1.0, bins=0)
+
+
+class TestJsonRoundTrip:
+    """Every monitor restores its exact internal state through JSON."""
+
+    def test_counter(self):
+        c = Counter()
+        c.incr("frames", 5)
+        c.incr("drops")
+        restored = Counter.from_json(json.loads(json.dumps(c.to_json())))
+        assert restored.as_dict() == c.as_dict()
+        restored.incr("frames")  # restored monitor keeps accumulating
+        assert restored["frames"] == 6
+
+    def test_running_stats_continue_bit_identically(self):
+        data = [1.5, 2.5, 3.0, 4.0, 10.0, -2.0]
+        rs = RunningStats()
+        rs.extend(data[:3])
+        restored = RunningStats.from_json(json.loads(json.dumps(rs.to_json())))
+        rs.extend(data[3:])
+        restored.extend(data[3:])
+        assert restored.n == rs.n
+        assert restored.mean == rs.mean  # exact, not approx
+        assert restored.variance == rs.variance
+        assert restored.minimum == rs.minimum
+        assert restored.maximum == rs.maximum
+
+    def test_running_stats_empty_nonfinite_state(self):
+        payload = json.loads(json.dumps(RunningStats().to_json()))
+        assert payload["min"] == "inf" and payload["max"] == "-inf"
+        restored = RunningStats.from_json(payload)
+        assert restored.n == 0
+        assert math.isnan(restored.mean)
+        restored.add(2.0)
+        assert restored.minimum == restored.maximum == 2.0
+
+    def test_time_weighted_value(self):
+        tw = TimeWeightedValue(time=0.0, value=1.0)
+        tw.set(2.0, 3.0)
+        restored = TimeWeightedValue.from_json(
+            json.loads(json.dumps(tw.to_json()))
+        )
+        tw.adjust(4.0, -1.0)
+        restored.adjust(4.0, -1.0)
+        assert restored.current == tw.current
+        assert restored.average(5.0) == tw.average(5.0)
+
+    def test_histogram(self):
+        h = Histogram(0.0, 1.0, bins=4)
+        for x in (-0.5, 0.1, 0.3, 0.6, 2.0):
+            h.add(x)
+        restored = Histogram.from_json(json.loads(json.dumps(h.to_json())))
+        assert restored.counts == h.counts
+        assert (restored.underflow, restored.overflow, restored.n) == (1, 1, 5)
+        assert restored.bin_edges() == h.bin_edges()
+
+    def test_histogram_payload_shape_validated(self):
+        payload = Histogram(0.0, 1.0, bins=4).to_json()
+        payload["counts"] = [0, 0]  # wrong bin count
+        with pytest.raises(ValueError):
+            Histogram.from_json(payload)

@@ -1,5 +1,7 @@
 """Unit tests for structured tracing."""
 
+import pytest
+
 from repro.sim.trace import NullRecorder, TraceRecorder
 
 
@@ -46,12 +48,27 @@ class TestTraceRecorder:
         rec.emit(0.0, "e", n=2)
         assert len(rec.select(predicate=lambda r: r["n"] > 1)) == 1
 
-    def test_category_counts(self):
+    def test_emitted_counts(self):
         rec = TraceRecorder()
         rec.emit(0.0, "a")
         rec.emit(0.0, "a")
         rec.emit(0.0, "b")
-        assert rec.category_counts() == {"a": 2, "b": 1}
+        assert rec.emitted_counts() == {"a": 2, "b": 1}
+
+    def test_emitted_vs_recorded_counts_under_filtering(self):
+        rec = TraceRecorder(categories={"keep"})
+        rec.emit(0.0, "keep")
+        rec.emit(0.0, "drop")
+        rec.emit(0.0, "drop")
+        assert rec.emitted_counts() == {"keep": 1, "drop": 2}
+        assert rec.recorded_counts() == {"keep": 1}
+
+    def test_category_counts_deprecated_alias(self):
+        rec = TraceRecorder()
+        rec.emit(0.0, "a")
+        with pytest.deprecated_call():
+            assert rec.category_counts() == {"a": 1}
+        assert rec.category_counts() == rec.emitted_counts()
 
     def test_clear(self):
         rec = TraceRecorder()
@@ -59,6 +76,8 @@ class TestTraceRecorder:
         rec.clear()
         assert len(rec) == 0
         assert rec.count("a") == 0
+        assert rec.emitted_counts() == {}
+        assert rec.recorded_counts() == {}
 
 
 class TestNullRecorder:
