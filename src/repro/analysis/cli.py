@@ -13,10 +13,11 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .core import (
     Baseline,
+    LintReport,
     Linter,
     ProjectRule,
     Rule,
@@ -94,6 +95,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the current findings to the baseline file and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline keeping only fingerprints that still "
+            "fire (at their observed multiplicity), print what was "
+            "pruned, and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help=(
+            "fail (exit 1) when the baseline carries stale entries that "
+            "no current finding matches"
+        ),
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "additionally run the dynamic determinism sanitizer (DetSan) "
+            "over the pinned scenarios and merge its SAN* findings into "
+            "the report (before baseline filtering)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
@@ -111,21 +138,34 @@ def _parse_rule_ids(spec: str, known: Sequence[str]) -> List[str]:
 
 def _select_rules(
     select: Optional[str], ignore: Optional[str]
-) -> Tuple[List[Rule], List[ProjectRule]]:
-    known = sorted(registry()) + sorted(project_registry())
+) -> Tuple[List[Rule], List[ProjectRule], List[Rule]]:
+    from .sanitizer.rules import SANITIZER_RULES
+
+    known = (
+        sorted(registry())
+        + sorted(project_registry())
+        + sorted(rule.rule_id for rule in SANITIZER_RULES)
+    )
     rules = all_rules()
     project_rules = all_project_rules()
+    sanitizer_rules = list(SANITIZER_RULES)
     if select:
         wanted = set(_parse_rule_ids(select, known))
         rules = [rule for rule in rules if rule.rule_id in wanted]
         project_rules = [rule for rule in project_rules if rule.rule_id in wanted]
+        sanitizer_rules = [
+            rule for rule in sanitizer_rules if rule.rule_id in wanted
+        ]
     if ignore:
         dropped = set(_parse_rule_ids(ignore, known))
         rules = [rule for rule in rules if rule.rule_id not in dropped]
         project_rules = [
             rule for rule in project_rules if rule.rule_id not in dropped
         ]
-    return rules, project_rules
+        sanitizer_rules = [
+            rule for rule in sanitizer_rules if rule.rule_id not in dropped
+        ]
+    return rules, project_rules, sanitizer_rules
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -133,21 +173,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
+        from .sanitizer.rules import SANITIZER_RULES
+
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.description}")
         for project_rule in all_project_rules():
             print(f"{project_rule.rule_id}  [project] {project_rule.description}")
+        for dyn_rule in SANITIZER_RULES:
+            print(f"{dyn_rule.rule_id}  [dynamic] {dyn_rule.description}")
         return 0
 
     try:
-        rules, project_rules = _select_rules(args.select, args.ignore)
+        rules, project_rules, sanitizer_rules = _select_rules(
+            args.select, args.ignore
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
     baseline: Optional[Baseline] = None
-    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+    needs_baseline = args.prune_baseline or args.check_baseline
+    if needs_baseline and not baseline_path.exists():
+        print(f"error: no baseline at {baseline_path}", file=sys.stderr)
+        return 2
+    if (
+        not args.no_baseline and not args.write_baseline and baseline_path.exists()
+    ) or needs_baseline:
         try:
             baseline = Baseline.load(baseline_path)
         except (ValueError, OSError) as exc:
@@ -160,11 +212,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    linter = Linter(rules=rules, baseline=baseline, project_rules=project_rules)
+    # Baseline filtering is applied here, not inside the Linter, so the
+    # sanitizer's dynamic findings can be merged in first and the
+    # prune/check modes can see the unfiltered set.
+    linter = Linter(rules=rules, baseline=None, project_rules=project_rules)
     report = linter.lint_paths(paths, project=args.project)
+
+    if args.sanitize:
+        from .sanitizer.detectors import run_suite
+
+        suite = run_suite()
+        wanted_ids = {rule.rule_id for rule in sanitizer_rules}
+        report.findings.extend(
+            finding
+            for finding in suite.findings
+            if finding.rule_id in wanted_ids
+        )
+
+    if args.prune_baseline or args.check_baseline:
+        assert baseline is not None
+        return _baseline_maintenance(args, baseline, baseline_path, report)
+
+    if baseline is not None:
+        report.findings = baseline.filter(report.findings)
 
     if args.sarif:
         sarif_rules: List[Union[Rule, ProjectRule]] = [*rules, *project_rules]
+        if args.sanitize:
+            sarif_rules.extend(sanitizer_rules)
         write_sarif(Path(args.sarif), report, sarif_rules)
 
     if args.write_baseline:
@@ -197,3 +272,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(summary, file=sys.stderr)
 
     return 0 if report.ok else 1
+
+
+def _baseline_maintenance(
+    args: argparse.Namespace,
+    baseline: Baseline,
+    baseline_path: Path,
+    report: LintReport,
+) -> int:
+    """``--prune-baseline`` / ``--check-baseline`` against live findings.
+
+    ``report.findings`` must be the *unfiltered* set: both modes compare
+    what actually fires now against what the baseline tolerates.  A
+    baseline entry is stale when its fingerprint fires fewer times than
+    the entry's count — the debt it grandfathers no longer exists.
+    """
+    fired: Dict[str, int] = {}
+    for finding in report.findings:
+        fingerprint = finding.fingerprint()
+        fired[fingerprint] = fired.get(fingerprint, 0) + 1
+
+    stale: List[Tuple[str, int, int]] = []  # (fingerprint, tolerated, firing)
+    kept: Dict[str, int] = {}
+    for fingerprint in sorted(baseline.entries):
+        tolerated = baseline.entries[fingerprint]
+        firing = min(tolerated, fired.get(fingerprint, 0))
+        if firing:
+            kept[fingerprint] = firing
+        if firing < tolerated:
+            stale.append((fingerprint, tolerated, firing))
+
+    if args.check_baseline:
+        for fingerprint, tolerated, firing in stale:
+            print(
+                f"stale baseline entry {fingerprint}: tolerates {tolerated} "
+                f"finding(s), {firing} still firing"
+            )
+        print(
+            f"{len(baseline.entries)} baseline entr(ies), {len(stale)} stale",
+            file=sys.stderr,
+        )
+        return 1 if stale else 0
+
+    Baseline(kept).dump(baseline_path)
+    for fingerprint, tolerated, firing in stale:
+        print(f"pruned {fingerprint}: {tolerated} -> {firing}")
+    print(
+        f"pruned {len(stale)} entr(ies); {len(kept)} remain in {baseline_path}",
+        file=sys.stderr,
+    )
+    return 0

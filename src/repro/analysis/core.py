@@ -152,11 +152,16 @@ class Rule:
     """Base class for lint rules.
 
     Subclasses set ``rule_id`` (stable, e.g. ``DET001``) and
-    ``description`` and implement :meth:`check`.
+    ``description`` and implement :meth:`check`.  ``level`` is the
+    SARIF severity (``"error"``/``"warning"``/``"note"``) and
+    ``help_anchor`` an anchor into ``docs/static-analysis.md`` — both
+    feed the SARIF rule catalogue in :mod:`.sarif`.
     """
 
     rule_id: str = ""
     description: str = ""
+    level: str = "error"
+    help_anchor: str = ""
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -195,10 +200,14 @@ class ProjectRule:
     :class:`~repro.analysis.symbols.ProjectContext` and emit findings
     whose ``path`` names the module the finding anchors to — that is
     where suppression comments and baseline fingerprints apply.
+    ``level``/``help_anchor`` feed the SARIF catalogue exactly as on
+    :class:`Rule`.
     """
 
     rule_id: str = ""
     description: str = ""
+    level: str = "error"
+    help_anchor: str = ""
 
     def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
         raise NotImplementedError

@@ -109,6 +109,7 @@ class UnseededRandomRule(Rule):
         "unseeded random.Random(): pass an explicit seed or a "
         "repro.sim.rng stream (e.g. fallback_stream)"
     )
+    help_anchor = "pack-1--determinism-det"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         aliases = _module_aliases(ctx.tree, "random")
@@ -142,6 +143,7 @@ class ModuleRandomCallRule(Rule):
         "call on the module-level shared RNG (random.random(), "
         "random.choice(), ...): draw from an injected stream instead"
     )
+    help_anchor = "pack-1--determinism-det"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         aliases = _module_aliases(ctx.tree, "random")
@@ -176,6 +178,8 @@ class ModuleRandomCallRule(Rule):
 class InlineRandomImportRule(Rule):
     rule_id = "DET003"
     description = "import of the random module inside a function body"
+    level = "warning"
+    help_anchor = "pack-1--determinism-det"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for outer in ast.walk(ctx.tree):
@@ -203,6 +207,7 @@ class WallClockRule(Rule):
         "wall-clock read (time.time(), datetime.now(), ...) in "
         "simulation code, which must only consume sim.now"
     )
+    help_anchor = "pack-1--determinism-det"
 
     _TIME_FUNCS = frozenset({"time", "time_ns", "monotonic", "perf_counter"})
     _DATETIME_METHODS = frozenset({"now", "utcnow", "today"})
@@ -263,6 +268,7 @@ class SetIterationRule(Rule):
         "iteration over a bare set in order-sensitive simulation code; "
         "wrap in sorted(...) to pin the order"
     )
+    help_anchor = "pack-1--determinism-det"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.in_packages(ORDER_SENSITIVE_PACKAGES):
@@ -303,6 +309,7 @@ class ProcessSpawnRule(Rule):
         "ProcessPoolExecutor) outside repro.exec; route parallelism "
         "through repro.exec.TrialRunner"
     )
+    help_anchor = "pack-1--determinism-det"
 
     _OS_FORK_FUNCS = frozenset({"fork", "forkpty"})
 

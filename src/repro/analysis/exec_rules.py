@@ -219,6 +219,7 @@ class GlobalStateWriteRule(ProjectRule):
         "the write is lost with the forked child and makes trials "
         "order-dependent"
     )
+    help_anchor = "pack-5--forkcache-safety-exec"
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         for ref, (info, _site) in sorted(_trial_functions(project).items()):
@@ -243,6 +244,7 @@ class ForkUnsafeCaptureRule(ProjectRule):
         "module-level resource (thread/lock/socket/open handle) created "
         "before the fork"
     )
+    help_anchor = "pack-5--forkcache-safety-exec"
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         for ref, (info, _site) in sorted(_trial_functions(project).items()):
@@ -311,6 +313,7 @@ class AmbientCacheInputRule(ProjectRule):
         "os.environ, wall clock, files, stdin — that are not part of "
         "its trial_key cache key"
     )
+    help_anchor = "pack-5--forkcache-safety-exec"
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         cached = _trial_functions(project, cached_only=True)

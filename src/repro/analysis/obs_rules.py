@@ -65,6 +65,8 @@ class TraceCategoryLiteralRule(Rule):
         "trace/span category must be a string literal at the call site, "
         "keeping the trace vocabulary closed and grep-able"
     )
+    level = "warning"
+    help_anchor = "pack-7--observability-obs"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -43,6 +43,7 @@ class CanonicalPurityRule(ProjectRule):
         "impure operation (clock/env/file/global RNG/global write) in a "
         "function reachable from canonical_value/trial_key serialization"
     )
+    help_anchor = "pack-6--canonical-purity-pure"
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         roots = sorted(

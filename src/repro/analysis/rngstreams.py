@@ -76,6 +76,7 @@ class DuplicateStreamNameRule(Rule):
         "the same literal RngRegistry stream name requested at two "
         "call sites in one function — the components will share draws"
     )
+    help_anchor = "pack-3--rng-stream-hygiene-rng"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for scope in _scopes(ctx.tree):
@@ -106,6 +107,7 @@ class UnstableStreamNameRule(Rule):
         "RngRegistry stream name derived from process-unstable data "
         "(id()/hash()/repr()/!r), breaking cross-run replay"
     )
+    help_anchor = "pack-3--rng-stream-hygiene-rng"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for scope in _scopes(ctx.tree):

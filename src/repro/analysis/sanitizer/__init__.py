@@ -1,0 +1,41 @@
+"""DetSan: the runtime determinism sanitizer.
+
+The dynamic complement to the static rule packs — see
+``docs/static-analysis.md`` ("Dynamic analysis (DetSan)").  This
+package's layering is deliberate:
+
+* :mod:`.runtime` is stdlib-only and sits at the bottom of the repo's
+  import graph: the simulation kernel and the RNG registry import it
+  for the activation slot, so it must not (transitively) import sim,
+  exec, or obs code.  **Only** :mod:`.runtime` names are re-exported
+  here, because ``repro.sim.engine`` triggers this ``__init__``.
+* :mod:`.detectors`, :mod:`.pinned`, :mod:`.report`, and :mod:`.cli`
+  are the heavy half (they drive trials through the exec layer); they
+  are imported lazily by the CLIs, never from here.
+
+Rule ids SAN001-SAN004; findings are ordinary :class:`..core.Finding`
+objects with the usual fingerprints, suppression, and baseline
+behaviour.
+"""
+
+from __future__ import annotations
+
+from .runtime import (
+    DetSanContext,
+    InstrumentedStream,
+    RngLedger,
+    active_sanitizer,
+    register_state_probe,
+    sanitizing,
+    state_snapshot,
+)
+
+__all__ = [
+    "DetSanContext",
+    "InstrumentedStream",
+    "RngLedger",
+    "active_sanitizer",
+    "register_state_probe",
+    "sanitizing",
+    "state_snapshot",
+]

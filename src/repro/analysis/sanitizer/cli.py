@@ -1,0 +1,232 @@
+"""``repro sanitize`` — run the determinism sanitizer and report.
+
+Two sub-subcommands, wired onto the top-level ``repro`` parser exactly
+like ``repro obs``:
+
+``repro sanitize run``
+    Drive the pinned scenarios through every detector
+    (:func:`~.detectors.run_suite`) and print findings like ``python -m
+    repro.lint`` does — same text format, same ``--format json``, same
+    SARIF export, same baseline semantics (``lint-baseline.json`` by
+    default, so triaged dynamic findings are grandfathered exactly like
+    static ones).  Exit 0 when clean, 1 on findings, 2 on bad
+    invocation.
+
+``repro sanitize report``
+    Cross-reference a static SARIF file against a sanitize run,
+    tagging each static result ``dynamically-confirmed`` /
+    ``not-observed`` (see :mod:`.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..cli import DEFAULT_BASELINE
+from ..core import Baseline, Finding
+
+__all__ = ["configure_parser"]
+
+
+def _load_baseline(args: argparse.Namespace) -> Optional[Baseline]:
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    if args.no_baseline or args.write_baseline or not baseline_path.exists():
+        return None
+    return Baseline.load(baseline_path)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .detectors import describe_checks, run_suite
+    from .rules import SANITIZER_RULES
+
+    try:
+        baseline = _load_baseline(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_suite(
+            scenarios=args.scenario or None,
+            hash_seeds=args.hash_seeds,
+            tie_seed=args.tie_seed,
+            fork_exercise=not args.no_fork_exercise,
+        )
+    except (KeyError, ImportError, AttributeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    findings: List[Finding] = result.findings
+    if args.write_baseline:
+        baseline_path = (
+            Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+        )
+        merged = Baseline.load(baseline_path) if baseline_path.exists() else Baseline()
+        for fingerprint, count in Baseline.from_findings(findings).entries.items():
+            merged.entries[fingerprint] = max(
+                merged.entries.get(fingerprint, 0), count
+            )
+        merged.dump(baseline_path)
+        print(
+            f"wrote {len(findings)} sanitizer finding(s) into {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+    if baseline is not None:
+        findings = baseline.filter(findings)
+
+    if args.sarif:
+        from ..core import LintReport
+        from ..sarif import write_sarif
+
+        report = LintReport()
+        report.findings = findings
+        write_sarif(Path(args.sarif), report, SANITIZER_RULES)
+
+    if args.format == "json":
+        payload = {
+            "findings": [finding.to_json() for finding in findings],
+            "checks": result.checks,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(describe_checks(result), file=sys.stderr)
+        print(
+            f"{len(result.checks)} check(s) run, {len(findings)} finding(s)",
+            file=sys.stderr,
+        )
+    return 0 if not findings else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report import annotate_sarif, load_sarif, render_summary
+
+    sarif_path = Path(args.sarif)
+    try:
+        document = load_sarif(sarif_path)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.run_json:
+        try:
+            payload = json.loads(Path(args.run_json).read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot load run JSON: {exc}", file=sys.stderr)
+            return 2
+        dynamic = [
+            Finding(
+                rule_id=str(item["rule_id"]),
+                path=str(item["path"]),
+                line=int(item["line"]),
+                col=int(item.get("col", 0)),
+                message=str(item.get("message", "")),
+                snippet=str(item.get("snippet", "")),
+            )
+            for item in payload.get("findings", [])
+        ]
+    else:
+        from .detectors import run_suite
+
+        dynamic = run_suite(hash_seeds=args.hash_seeds).findings
+
+    counts = annotate_sarif(document, dynamic)
+    out_path = Path(args.out) if args.out else sarif_path
+    out_path.write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    print(render_summary(document, counts))
+    return 0
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``sanitize`` sub-subcommands to the given subparser."""
+    sub = parser.add_subparsers(dest="sanitize_command", required=True)
+
+    run = sub.add_parser(
+        "run",
+        help="run every detector over the pinned scenarios",
+    )
+    run.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help=(
+            "pinned scenario name or module:function reference "
+            "(repeatable; default: all pinned scenarios)"
+        ),
+    )
+    run.add_argument(
+        "--hash-seeds",
+        type=int,
+        default=3,
+        metavar="K",
+        help="PYTHONHASHSEED values to re-execute under (0 disables; default 3)",
+    )
+    run.add_argument(
+        "--tie-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the deterministic same-timestamp shuffle (default 0)",
+    )
+    run.add_argument(
+        "--no-fork-exercise",
+        action="store_true",
+        help="skip the forked-worker sweep that feeds SAN001/SAN004",
+    )
+    run.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    run.add_argument(
+        "--sarif", metavar="PATH",
+        help="also write the findings as a SARIF 2.1.0 file",
+    )
+    run.add_argument(
+        "--baseline", metavar="PATH",
+        help=f"baseline file (default: {DEFAULT_BASELINE} if it exists)",
+    )
+    run.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    run.add_argument(
+        "--write-baseline", action="store_true",
+        help="merge current sanitizer findings into the baseline and exit 0",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    rep = sub.add_parser(
+        "report",
+        help=(
+            "tag static SARIF results dynamically-confirmed / "
+            "not-observed using sanitizer evidence"
+        ),
+    )
+    rep.add_argument(
+        "--sarif", required=True, metavar="PATH",
+        help="static SARIF file from python -m repro.lint --sarif",
+    )
+    rep.add_argument(
+        "--run-json", metavar="PATH",
+        help=(
+            "saved output of repro sanitize run --format json "
+            "(default: run the suite now)"
+        ),
+    )
+    rep.add_argument(
+        "--hash-seeds", type=int, default=3, metavar="K",
+        help="hash seeds for the inline run when --run-json is absent",
+    )
+    rep.add_argument(
+        "--out", metavar="PATH",
+        help="annotated SARIF output path (default: rewrite --sarif in place)",
+    )
+    rep.set_defaults(func=_cmd_report)

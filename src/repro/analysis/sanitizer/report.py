@@ -1,0 +1,136 @@
+"""Cross-reference static lint findings with dynamic sanitizer evidence.
+
+Static rules predict non-determinism from code shape; the sanitizer
+observes it happening.  This module joins the two: given a SARIF file
+produced by ``python -m repro.lint --sarif`` and the findings of a
+``repro sanitize run``, each static result is tagged
+
+``dynamically-confirmed``
+    a sanitizer finding whose rule *confirms* the static rule fired in
+    the same file — the predicted hazard was observed at runtime;
+``not-observed``
+    no sanitizer evidence for that file.  Not proof of safety (the
+    pinned scenarios exercise a slice of the tree), but a strong hint
+    the static finding is latent rather than live.
+
+The tag lands in each SARIF result's ``properties.detsan`` object
+(``{"status": ..., "confirmedBy": [fingerprints...]}``), which GitHub
+code scanning and SARIF viewers surface verbatim, and the text summary
+groups results by status for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Mapping, Sequence, Tuple
+
+from ..core import Finding
+
+__all__ = ["CONFIRMS", "annotate_sarif", "load_sarif", "render_summary"]
+
+#: Which static rules each sanitizer rule dynamically confirms.
+#:
+#: SAN001 (unregistered / divergent RNG draws) is runtime evidence for
+#: the determinism pack's direct-RNG rules, the stream-hygiene pack,
+#: and seed-provenance taint.  SAN002 (tie-order divergence) and SAN003
+#: (hash-order divergence) both realise DET005's iteration-order
+#: hazard; SAN003 also confirms canonical-purity violations.  SAN004
+#: (state drift) is the dynamic face of the fork/cache-safety pack.
+CONFIRMS: Dict[str, FrozenSet[str]] = {
+    "SAN001": frozenset(
+        {"DET001", "DET002", "DET003", "RNG001", "RNG002", "SEED001"}
+    ),
+    "SAN002": frozenset({"DET005"}),
+    "SAN003": frozenset({"DET005", "PURE001"}),
+    "SAN004": frozenset({"EXEC001", "EXEC002", "EXEC003"}),
+}
+
+#: Inverse map: static rule id -> sanitizer rule ids that can confirm it.
+_CONFIRMED_BY: Dict[str, List[str]] = {}
+for _san_id, _static_ids in sorted(CONFIRMS.items()):
+    for _static_id in sorted(_static_ids):
+        _CONFIRMED_BY.setdefault(_static_id, []).append(_san_id)
+
+
+def load_sarif(path: Path) -> Dict[str, Any]:
+    """A SARIF document as a dict, validated just enough to annotate."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or not isinstance(data.get("runs"), list):
+        raise ValueError(f"{path}: not a SARIF document (no runs array)")
+    return data
+
+
+def _result_path(result: Mapping[str, Any]) -> str:
+    try:
+        location = result["locations"][0]["physicalLocation"]
+        return str(location["artifactLocation"]["uri"])
+    except (KeyError, IndexError, TypeError):
+        return ""
+
+
+def annotate_sarif(
+    document: Dict[str, Any], dynamic: Sequence[Finding]
+) -> Dict[str, int]:
+    """Tag every static result in ``document`` in place.
+
+    Returns ``{"dynamically-confirmed": n, "not-observed": m}``.  A
+    static result is confirmed when a sanitizer finding of a confirming
+    rule landed in the same file; the matching findings' fingerprints
+    go into ``properties.detsan.confirmedBy`` so the evidence is
+    traceable back to the sanitize run.
+    """
+    by_rule_and_path: Dict[Tuple[str, str], List[str]] = {}
+    for finding in dynamic:
+        key = (finding.rule_id, finding.path)
+        by_rule_and_path.setdefault(key, []).append(finding.fingerprint())
+
+    counts = {"dynamically-confirmed": 0, "not-observed": 0}
+    for run in document.get("runs", []):
+        for result in run.get("results", []):
+            rule_id = str(result.get("ruleId", ""))
+            if rule_id in CONFIRMS:
+                continue  # dynamic results are evidence, not subjects
+            path = _result_path(result)
+            confirmed_by: List[str] = []
+            for san_id in _CONFIRMED_BY.get(rule_id, []):
+                confirmed_by.extend(by_rule_and_path.get((san_id, path), []))
+            status = "dynamically-confirmed" if confirmed_by else "not-observed"
+            counts[status] += 1
+            properties = result.setdefault("properties", {})
+            properties["detsan"] = {
+                "status": status,
+                "confirmedBy": sorted(set(confirmed_by)),
+            }
+    return counts
+
+
+def render_summary(
+    document: Mapping[str, Any], counts: Mapping[str, int]
+) -> str:
+    """Human-readable per-status listing for the CLI."""
+    lines = [
+        f"{counts.get('dynamically-confirmed', 0)} static finding(s) "
+        "dynamically confirmed, "
+        f"{counts.get('not-observed', 0)} not observed at runtime"
+    ]
+    for run in document.get("runs", []):
+        for result in run.get("results", []):
+            detsan = result.get("properties", {}).get("detsan")
+            if detsan is None:
+                continue
+            rule_id = result.get("ruleId", "?")
+            path = _result_path(result) or "?"
+            line = 0
+            try:
+                region = result["locations"][0]["physicalLocation"]["region"]
+                line = int(region.get("startLine", 0))
+            except (KeyError, IndexError, TypeError, ValueError):
+                pass
+            marker = (
+                "CONFIRMED"
+                if detsan["status"] == "dynamically-confirmed"
+                else "not-observed"
+            )
+            lines.append(f"  {path}:{line} {rule_id}: {marker}")
+    return "\n".join(lines)

@@ -33,26 +33,33 @@ _FINGERPRINT_KEY = "reproLint/v1"
 RuleLike = Union[Rule, ProjectRule]
 
 
+_HELP_DOC = "docs/static-analysis.md"
+
+
 def to_sarif(report: LintReport, rules: Sequence[RuleLike]) -> Dict[str, Any]:
     """The SARIF document for ``report`` as a JSON-ready dict."""
     rule_descriptors: List[Dict[str, Any]] = []
     rule_index: Dict[str, int] = {}
+    level_by_id: Dict[str, str] = {}
     for rule in sorted(rules, key=lambda r: r.rule_id):
         if rule.rule_id in rule_index:
             continue
         rule_index[rule.rule_id] = len(rule_descriptors)
-        rule_descriptors.append(
-            {
-                "id": rule.rule_id,
-                "shortDescription": {"text": rule.description},
-            }
-        )
+        level_by_id[rule.rule_id] = rule.level
+        descriptor: Dict[str, Any] = {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": rule.level},
+        }
+        if rule.help_anchor:
+            descriptor["helpUri"] = f"{_HELP_DOC}#{rule.help_anchor}"
+        rule_descriptors.append(descriptor)
 
     results: List[Dict[str, Any]] = []
     for finding in report.findings:
         result: Dict[str, Any] = {
             "ruleId": finding.rule_id,
-            "level": "error",
+            "level": level_by_id.get(finding.rule_id, "error"),
             "message": {"text": finding.message},
             "locations": [
                 {
@@ -87,7 +94,7 @@ def to_sarif(report: LintReport, rules: Sequence[RuleLike]) -> Dict[str, Any]:
                 "tool": {
                     "driver": {
                         "name": "repro.lint",
-                        "informationUri": "docs/static-analysis.md",
+                        "informationUri": _HELP_DOC,
                         "rules": rule_descriptors,
                     }
                 },

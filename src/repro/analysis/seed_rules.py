@@ -95,6 +95,7 @@ class SeedTaintRule(ProjectRule):
         "a trial-seed source (seed parameter, derive_seed/segment_seed, "
         "or a draw from an existing stream)"
     )
+    help_anchor = "pack-4--seed-provenance-seed"
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         for name in sorted(project.modules):
@@ -164,6 +165,7 @@ class CacheKeyCompletenessRule(ProjectRule):
         "TrialSpec kwarg missing from the trial_key params of its "
         "cache_key — cached results will not distinguish that input"
     )
+    help_anchor = "pack-4--seed-provenance-seed"
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         for name in sorted(project.modules):

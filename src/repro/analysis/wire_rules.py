@@ -30,7 +30,6 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from ..radio.frame import RPC_MAX_FRAME_BYTES
 from .constfold import fold_int
 from .core import Finding, ModuleContext, Rule, register
 
@@ -40,6 +39,14 @@ __all__ = [
     "MagicWidthRule",
     "RPC_FRAME_BUDGET_BITS",
 ]
+
+#: Maximum payload of a Radiometrix RPC frame.  Mirrors
+#: ``repro.radio.frame.RPC_MAX_FRAME_BYTES`` (a test asserts they
+#: agree) rather than importing it: the analysis package must stay
+#: import-light because the simulation kernel imports the sanitizer
+#: runtime from it, and pulling in ``repro.radio`` here would close an
+#: import cycle through ``sim.engine``.
+RPC_MAX_FRAME_BYTES = 27
 
 #: Frame budget of the paper's Radiometrix RPC testbed radio, in bits.
 RPC_FRAME_BUDGET_BITS = 8 * RPC_MAX_FRAME_BYTES
@@ -115,6 +122,7 @@ class FieldOverflowRule(Rule):
         "BitWriter.write() whose value range can exceed the declared "
         "field width"
     )
+    help_anchor = "pack-2--wire-format-invariants-wire"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         env = ctx.constants
@@ -148,6 +156,8 @@ class MagicWidthRule(Rule):
         "BitWriter.write() width given as a magic integer literal "
         "instead of a named *_BITS constant"
     )
+    level = "warning"
+    help_anchor = "pack-2--wire-format-invariants-wire"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         seen: Set[int] = set()
@@ -177,6 +187,7 @@ class FrameBudgetRule(Rule):
         f"one function writes more than the {RPC_MAX_FRAME_BYTES}-byte "
         "RPC frame budget of statically-known bits"
     )
+    help_anchor = "pack-2--wire-format-invariants-wire"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         env = ctx.constants

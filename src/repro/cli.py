@@ -506,6 +506,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     _configure_obs(obs)
 
+    sanitize = sub.add_parser(
+        "sanitize",
+        help=(
+            "run the runtime determinism sanitizer (DetSan) over pinned "
+            "scenarios, or cross-reference its evidence with static lint"
+        ),
+    )
+    # Same deferred-import dance as obs: the sanitizer CLI pulls in the
+    # exec layer and subprocess perturbers, none of which belongs in
+    # the import cost of `repro figure`.
+    from .analysis.sanitizer.cli import configure_parser as _configure_sanitize
+
+    _configure_sanitize(sanitize)
+
     return parser
 
 

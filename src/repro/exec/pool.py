@@ -41,6 +41,7 @@ import time
 from dataclasses import fields, is_dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
+from ..analysis.sanitizer.runtime import active_sanitizer
 from .runner import TrialSpec, execute_call
 
 __all__ = [
@@ -218,6 +219,13 @@ def _worker_main(reader_fd: int, writer_fd: int, worker_id: int) -> None:
     Runs on the child's main thread, so SIGALRM deadlines work here
     exactly as they do in per-run forked workers.
     """
+    san = active_sanitizer()
+    if san is not None:
+        # This IS the fork point for a pool worker: drop observations
+        # inherited from the parent and snapshot module state here, so
+        # DetSan's fork-state differ compares against what the worker
+        # actually started with (see runtime.DetSanContext.after_fork).
+        san.after_fork()
     buffer = b""
     with os.fdopen(reader_fd, "rb", buffering=0) as inp, os.fdopen(
         writer_fd, "wb", buffering=0

@@ -50,6 +50,7 @@ from typing import (
     Tuple,
 )
 
+from ..analysis.sanitizer.runtime import active_sanitizer, state_snapshot
 from ..obs.spans import SpanProfiler, profiling
 from .cache import ResultCache
 from .telemetry import RunTelemetry, TrialRecord
@@ -214,7 +215,19 @@ def execute_call(
     crosses the process boundary from workers back to the parent's
     telemetry.  Profiling is observational: the trial's value is
     identical either way.
+
+    Under an active DetSan context the message likewise carries the
+    process's drained draw-ledger observations under ``"sanitizer"``
+    (see :mod:`repro.analysis.sanitizer.runtime`), and module-state
+    snapshots are compared at trial entry (fork-phase drift: state
+    mutated *between* trials) and across the call (trial-phase drift).
+    Also purely observational.
     """
+    san = active_sanitizer()
+    pre_state: Dict[str, str] = {}
+    if san is not None:
+        san.check_fork_drift(state_snapshot())
+        pre_state = state_snapshot()
     attempts = 0
     skipped = _deadline_unusable(timeout)
     while True:
@@ -243,6 +256,9 @@ def execute_call(
             if prof is not None:
                 prof.add("exec.trial", message["duration"])
                 message["spans"] = prof.to_json()
+            if san is not None:
+                san.record_trial_drift(pre_state, state_snapshot(), _trial_site(fn))
+                message["sanitizer"] = san.export_for_message()
             return message
         except Exception as exc:
             if attempts <= retries:
@@ -257,7 +273,18 @@ def execute_call(
             }
             if skipped:
                 message["deadline_skipped"] = skipped
+            if san is not None:
+                san.record_trial_drift(pre_state, state_snapshot(), _trial_site(fn))
+                message["sanitizer"] = san.export_for_message()
             return message
+
+
+def _trial_site(fn: Callable[..., Any]) -> Optional[str]:
+    """Where ``fn`` is defined, for attributing state drift to a trial."""
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return None
+    return f"{code.co_filename}:{code.co_firstlineno}"
 
 
 # ----------------------------------------------------------------------
@@ -432,6 +459,12 @@ class TrialRunner:
                 # parent's atexit/pytest machinery.
                 status = 0
                 try:
+                    san = active_sanitizer()
+                    if san is not None:
+                        # Drop ledger state inherited from the parent by
+                        # fork and re-anchor the fork-state baseline, so
+                        # this child only ever reports what *it* observed.
+                        san.after_fork()
                     os.close(read_fd)
                     with os.fdopen(write_fd, "wb", buffering=0) as out:
                         for index in shard:
@@ -492,6 +525,7 @@ class TrialRunner:
         outcomes: List[TrialOutcome],
         telemetry: Optional[RunTelemetry] = None,
     ) -> None:
+        san = active_sanitizer()
         for index in pending:
             spec = specs[index]
             message = messages.get(index)
@@ -502,6 +536,14 @@ class TrialRunner:
                 and message["deadline_skipped"] not in telemetry.warnings
             ):
                 telemetry.warnings.append(message["deadline_skipped"])
+            if (
+                san is not None
+                and message is not None
+                and message.get("sanitizer") is not None
+            ):
+                # Fold worker-side draw-ledger observations (tagged with
+                # the worker's pid) back into the active context.
+                san.absorb(message["sanitizer"])
             if message is None:
                 # Worker died (crash, OOM kill, os._exit in the trial)
                 # before reporting this trial.

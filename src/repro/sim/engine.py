@@ -30,6 +30,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from ..analysis.sanitizer.runtime import active_sanitizer
 from ..obs.spans import active_profiler, layer_of_module
 
 __all__ = [
@@ -47,11 +48,16 @@ class SimulationError(RuntimeError):
 class _QueueEntry:
     """Internal heap entry.
 
-    Ordering is (time, seq): seq breaks ties FIFO so same-time events run
-    in scheduling order, which keeps runs deterministic.
+    Ordering is (time, tie, seq): seq breaks ties FIFO so same-time
+    events run in scheduling order, which keeps runs deterministic.
+    ``tie`` is always 0 in normal operation; under DetSan's tie
+    perturber it carries a deterministic pseudo-random rank that
+    shuffles same-timestamp events, exposing any code that silently
+    depends on FIFO tie-breaking.
     """
 
     time: float
+    tie: int
     seq: int
     handle: "EventHandle" = field(compare=False)
 
@@ -114,6 +120,9 @@ class Simulator:
         # profiler is active the run loop pays one None-check per event.
         self._profiler = active_profiler()
         self._span_names: Dict[str, str] = {}
+        # The determinism sanitizer is likewise bound at construction;
+        # when inactive, scheduling pays one None-check per event.
+        self._sanitizer = active_sanitizer()
 
     # ------------------------------------------------------------------
     # Clock
@@ -152,7 +161,12 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         handle = EventHandle(self._now + delay, callback, args)
-        entry = _QueueEntry(time=handle.time, seq=next(self._seq), handle=handle)
+        seq = next(self._seq)
+        san = self._sanitizer
+        tie = 0
+        if san is not None and san.perturb_ties:
+            tie = san.tie_rank(handle.time, seq)
+        entry = _QueueEntry(time=handle.time, tie=tie, seq=seq, handle=handle)
         heapq.heappush(self._queue, entry)
         return handle
 

@@ -15,9 +15,25 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Dict, cast
+
+from ..analysis.sanitizer.runtime import active_sanitizer
 
 __all__ = ["RngRegistry", "derive_seed", "fallback_stream"]
+
+
+def _maybe_instrument(name: str, stream: random.Random) -> random.Random:
+    """Wrap ``stream`` in the DetSan draw ledger when a sanitizer is on.
+
+    The wrapper delegates every draw to the *same* underlying stream
+    object, so sequences are bit-identical with the sanitizer on or
+    off, and repeated calls return the same (cached) wrapper — the
+    registry's same-object guarantee survives instrumentation.
+    """
+    san = active_sanitizer()
+    if san is None:
+        return stream
+    return cast(random.Random, san.ledger.instrument(name, stream))
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -59,8 +75,9 @@ def fallback_stream(component: str) -> random.Random:
     """
     index = _fallback_counts.get(component, 0)
     _fallback_counts[component] = index + 1
-    seed = derive_seed(_FALLBACK_REGISTRY_ROOT_SEED, f"fallback.{component}.{index}")
-    return random.Random(seed)
+    name = f"fallback.{component}.{index}"
+    seed = derive_seed(_FALLBACK_REGISTRY_ROOT_SEED, name)
+    return _maybe_instrument(name, random.Random(seed))
 
 
 class RngRegistry:
@@ -88,7 +105,7 @@ class RngRegistry:
         if stream is None:
             stream = random.Random(derive_seed(self.root_seed, name))
             self._streams[name] = stream
-        return stream
+        return _maybe_instrument(name, stream)
 
     def fork(self, name: str) -> "RngRegistry":
         """A child registry whose root is derived from this one.

@@ -14,7 +14,6 @@ fields)``.  Categories used across the reproduction include
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -124,22 +123,6 @@ class TraceRecorder:
         empty.
         """
         return dict(self._recorded)
-
-    def category_counts(self) -> Dict[str, int]:
-        """Deprecated alias of :meth:`emitted_counts`.
-
-        The old name conflated two different questions once category
-        filtering existed; call :meth:`emitted_counts` (what happened)
-        or :meth:`recorded_counts` (what was kept) instead.
-        """
-        warnings.warn(
-            "TraceRecorder.category_counts() is deprecated; use "
-            "emitted_counts() (all emitted events) or recorded_counts() "
-            "(stored records only)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.emitted_counts()
 
 
 class NullRecorder(TraceRecorder):

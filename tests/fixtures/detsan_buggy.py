@@ -1,0 +1,63 @@
+"""Deliberately non-deterministic scenarios the sanitizer must catch.
+
+Each function below has the pinned-scenario signature (``trace_path ->
+result dict``) so the detectors can drive it via a ``module:function``
+reference.  The bugs are intentional — tests point DetSan at them and
+assert SAN001/SAN002 findings with the right anchors.  Do not "fix"
+them.
+"""
+
+import random
+
+from repro.obs.envelope import TraceWriter
+from repro.sim.engine import Simulator
+
+
+def tie_order_bug(trace_path):
+    """Result depends on which same-timestamp event fires first.
+
+    Six events all land at t=1.0; their firing order decides the
+    recorded sequence.  Under FIFO tie-breaking that order is stable,
+    but it is an accident of insertion, so the tie perturber's shuffle
+    changes the trace and the result — a textbook SAN002.
+    """
+    order = []
+    sim = Simulator()
+    for name in ("a", "b", "c", "d", "e", "f"):
+        sim.schedule(1.0, order.append, name)
+    sim.run()
+    with TraceWriter(trace_path, meta={"scenario": "tie_order_bug"}) as out:
+        for index, name in enumerate(order):
+            out.emit(float(index), "visit", name=name)
+    return {"order": list(order)}
+
+
+def hash_order_bug(trace_path):
+    """Result depends on ``PYTHONHASHSEED`` (SAN003).
+
+    Sorting by ``hash()`` and folding a string hash into the result
+    leaks interpreter hash randomization into scenario output, so two
+    fresh interpreters with different hash seeds disagree.
+    """
+    names = ["alpha", "beta", "gamma", "delta", "epsilon"]
+    order = sorted(names, key=hash)  # the bug: hash-seeded sort key
+    token = hash("".join(order)) & 0xFFFFFFFF
+    with TraceWriter(trace_path, meta={"scenario": "hash_order_bug"}) as out:
+        for index, name in enumerate(order):
+            out.emit(float(index), "visit", name=name)
+    return {"order": order, "token": token}
+
+
+def unregistered_draw(trace_path):
+    """Draws through the module-level global RNG (SAN001).
+
+    The draw is seeded so the scenario itself is reproducible — the bug
+    is the *provenance*, not the value: nothing ties this draw to a
+    registered repro.sim.rng stream, so reseeding policies and stream
+    audits cannot see it.
+    """
+    random.seed(1234)
+    value = random.random()  # the bug: global RNG, no registered stream
+    with TraceWriter(trace_path, meta={"scenario": "unregistered_draw"}) as out:
+        out.emit(0.0, "draw", value=round(value, 6))
+    return {"value": round(value, 6)}

@@ -63,12 +63,10 @@ class TestTraceRecorder:
         assert rec.emitted_counts() == {"keep": 1, "drop": 2}
         assert rec.recorded_counts() == {"keep": 1}
 
-    def test_category_counts_deprecated_alias(self):
-        rec = TraceRecorder()
-        rec.emit(0.0, "a")
-        with pytest.deprecated_call():
-            assert rec.category_counts() == {"a": 1}
-        assert rec.category_counts() == rec.emitted_counts()
+    def test_category_counts_alias_removed(self):
+        # The deprecated category_counts() alias is gone; the two
+        # explicitly-named queries are the only count surface.
+        assert not hasattr(TraceRecorder(), "category_counts")
 
     def test_clear(self):
         rec = TraceRecorder()
