@@ -1,0 +1,92 @@
+"""Extension: flow-level fidelity makes massive scenarios tractable.
+
+The frame-level core replays every individual frame, so a 10k-node
+field at sensible duty cycles (~1.2M transactions over ten minutes) is
+far beyond an interactive budget.  The flow core samples collisions per
+concurrency window from the calibrated analytic model instead
+(``docs/flow.md``), and this benchmark quantifies the claim from the
+scenario family it ships with: the 10k-node run completes in seconds,
+scaling linearly in offered load rather than in frames on the air.
+
+Published metrics carry ``wall_time`` and a ``layer_times`` breakdown
+(the ``flow`` bucket), so ``repro bench-trend`` tracks both the wall
+time and where it went.
+"""
+
+from conftest import FULL_FIDELITY
+from repro.experiments.results import Table
+from repro.flow import massive_scenario, scenario_peak_density, simulate
+from repro.obs.spans import SpanProfiler, layer_breakdown, profiling
+
+SIZES = (2_000, 10_000, 20_000) if FULL_FIDELITY else (1_000, 4_000, 10_000)
+HORIZON = 600.0 if FULL_FIDELITY else 120.0
+WALL_BUDGET = 60.0  # the ISSUE acceptance bar for the 10k-node run
+SEED = 0
+
+
+def run_flow_scaling():
+    clock = SpanProfiler.clock
+    profiler = SpanProfiler()
+    rows = []
+    with profiling(profiler):
+        for n_nodes in SIZES:
+            scenario = massive_scenario(n_nodes=n_nodes, horizon=HORIZON)
+            t0 = clock()
+            result = simulate(scenario, SEED, fidelity="flow")
+            wall = clock() - t0
+            rows.append(
+                {
+                    "nodes": n_nodes,
+                    "peak_density": scenario_peak_density(scenario),
+                    "transactions": result.transactions,
+                    "collision_rate": result.collision_rate,
+                    "wall_time": wall,
+                }
+            )
+    return rows, profiler.to_json()
+
+
+def test_flow_scaling(benchmark, publish):
+    rows, spans = benchmark.pedantic(run_flow_scaling, rounds=1, iterations=1)
+
+    table = Table(
+        f"Extension: flow-level wall time vs network size "
+        f"({HORIZON:.0f}s horizon)",
+        ["nodes", "peak density", "transactions", "collision rate",
+         "wall time (s)"],
+    )
+    for row in rows:
+        table.add_row(
+            row["nodes"],
+            round(row["peak_density"], 1),
+            row["transactions"],
+            round(row["collision_rate"], 4),
+            round(row["wall_time"], 3),
+        )
+    total_wall = sum(row["wall_time"] for row in rows)
+    layers = layer_breakdown(spans)
+    publish(
+        "flow_scaling",
+        table.render(),
+        metrics={
+            "sizes": list(SIZES),
+            "horizon": HORIZON,
+            "rows": rows,
+            "wall_time": total_wall,
+            "layer_times": {k: round(v, 6) for k, v in layers.items()},
+            "largest_wall_time": rows[-1]["wall_time"],
+        },
+    )
+
+    largest = rows[-1]
+    # The acceptance bar: the 10k-node family runs in well under a
+    # minute at flow fidelity (frame-level replay is ~1.2M transactions
+    # and infeasible interactively).
+    assert largest["nodes"] >= 10_000
+    assert largest["wall_time"] < WALL_BUDGET
+    # Offered load scales linearly with the node count...
+    ratio = SIZES[-1] / SIZES[0]
+    growth = rows[-1]["transactions"] / rows[0]["transactions"]
+    assert 0.5 * ratio < growth < 2.0 * ratio
+    # ...and the time went to the flow layer, visibly in the breakdown.
+    assert layers.get("flow", 0.0) > 0.0

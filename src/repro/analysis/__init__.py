@@ -56,6 +56,7 @@ from . import seed_rules as seed_rules
 from . import exec_rules as exec_rules
 from . import purity as purity
 from . import obs_rules as obs_rules
+from . import flow_rules as flow_rules
 
 __all__ = [
     "Baseline",

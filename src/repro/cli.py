@@ -506,6 +506,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     _configure_obs(obs)
 
+    flow = sub.add_parser(
+        "flow",
+        help="flow-level / hybrid-fidelity simulation of massive "
+        "scenarios (repro.flow)",
+    )
+    # Deferred import, same reason as obs: the flow CLI pulls in the
+    # exec and calibration layers, which `repro figure` never needs.
+    from .flow.cli import configure_parser as _configure_flow
+
+    _configure_flow(flow)
+
     sanitize = sub.add_parser(
         "sanitize",
         help=(

@@ -95,6 +95,12 @@ SCENARIOS: Dict[str, tuple] = {
         },
         "online T estimate tracking a load step",
     ),
+    "massive-flow": (
+        lambda cfg: scenarios.massive_flow_scenario(
+            horizon=max(4 * cfg.duration, 60.0), seed=cfg.seed
+        ),
+        "10k-node flow-level run with a hybrid burst cross-check",
+    ),
 }
 
 

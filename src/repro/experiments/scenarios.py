@@ -51,6 +51,7 @@ __all__ = [
     "flooding_scenario",
     "hidden_terminal_experiment",
     "interest_scenario",
+    "massive_flow_scenario",
     "measured_efficiency",
 ]
 
@@ -671,4 +672,51 @@ def codebook_scenario(
             if stats.reports_decoded
             else float("nan")
         ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Massive flow-level scenario (repro.flow)
+# ----------------------------------------------------------------------
+def massive_flow_scenario(
+    n_nodes: int = 10_000,
+    id_bits: int = 10,
+    horizon: float = 120.0,
+    window: float = 10.0,
+    packets_per_node: float = 0.2,
+    switch_threshold: float = 70.0,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """The 10k-node family at flow fidelity, with a hybrid cross-check.
+
+    Orders of magnitude beyond what the frame simulator can hold (at
+    the defaults, ~240k transactions over the horizon), the workload is
+    a network-wide telemetry baseline plus an event-storm burst.  Runs
+    the scenario at flow fidelity, then again in hybrid mode so only
+    the burst windows (density past ``switch_threshold``) pay for
+    frame-level replay — the reported gap between the two is the
+    fidelity the analytic sampler gives up inside contended windows.
+    """
+    from ..flow import massive_scenario, scenario_peak_density, simulate
+
+    scenario = massive_scenario(
+        n_nodes=n_nodes,
+        id_bits=id_bits,
+        horizon=horizon,
+        window=window,
+        packets_per_node=packets_per_node,
+    )
+    flow = simulate(scenario, seed, fidelity="flow")
+    hybrid = simulate(
+        scenario, seed, fidelity="hybrid", switch_threshold=switch_threshold
+    )
+    return {
+        "nodes": float(n_nodes),
+        "peak_density": scenario_peak_density(scenario),
+        "flow_transactions": float(flow.transactions),
+        "flow_collision_rate": flow.collision_rate,
+        "hybrid_collision_rate": hybrid.collision_rate,
+        "hybrid_frame_windows": float(hybrid.frame_windows),
+        "windows": float(len(flow.windows)),
+        "fidelity_gap": abs(flow.collision_rate - hybrid.collision_rate),
     }

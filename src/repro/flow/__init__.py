@@ -1,0 +1,60 @@
+"""Flow-level / hybrid-fidelity simulation (``repro.flow``).
+
+The fourth execution fidelity of the stack, one level above the frame
+simulator and the Monte Carlo event core: transaction *streams*
+(arrival rate + duration descriptors, :mod:`~repro.flow.streams`) are
+sampled per concurrency window from the paper's analytic collision
+models (:mod:`~repro.flow.sampler`), with an optional hybrid switch
+that replays only contended windows through the discrete event core
+(:mod:`~repro.flow.hybrid`).  :mod:`~repro.flow.calibrate` pins the
+flow sampler against the discrete ground truth on the Figure-4 grid.
+
+Scale target (ROADMAP): 10k–1M-node scenarios, millions of
+transactions, seconds of wall clock.  See ``docs/flow.md``.
+"""
+
+from .calibrate import (
+    CalibrationPoint,
+    CalibrationReport,
+    calibrate,
+    replicate_flow,
+)
+from .hybrid import DEFAULT_SWITCH_THRESHOLD, FIDELITY_MODES, simulate
+from .sampler import (
+    FlowResult,
+    WindowOutcome,
+    WindowSpec,
+    sample_flow,
+    sample_window,
+    window_plan,
+)
+from .streams import (
+    FlowScenario,
+    TransactionStream,
+    aggregate_node_workload,
+    figure4_scenario,
+    massive_scenario,
+    scenario_peak_density,
+)
+
+__all__ = [
+    "CalibrationPoint",
+    "CalibrationReport",
+    "DEFAULT_SWITCH_THRESHOLD",
+    "FIDELITY_MODES",
+    "FlowResult",
+    "FlowScenario",
+    "TransactionStream",
+    "WindowOutcome",
+    "WindowSpec",
+    "aggregate_node_workload",
+    "calibrate",
+    "figure4_scenario",
+    "massive_scenario",
+    "replicate_flow",
+    "sample_flow",
+    "sample_window",
+    "scenario_peak_density",
+    "simulate",
+    "window_plan",
+]

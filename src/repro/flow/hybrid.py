@@ -1,0 +1,146 @@
+"""Hybrid fidelity: frame-level simulation inside contended windows.
+
+The flow sampler is exact in expectation but summarises each window by
+its analytic collision probability; inside heavily contended
+neighbourhoods (density near or past the identifier space's capacity)
+the frame-level discrete-event core is the ground truth worth paying
+for.  :func:`simulate` runs one scenario at a chosen fidelity:
+
+``flow``
+    every window sampled analytically (:mod:`repro.flow.sampler`);
+``frame``
+    every window replayed by the discrete event core
+    (:func:`repro.core.montecarlo._replay` against a
+    :class:`~repro.core.transactions.TransactionLog`);
+``hybrid``
+    windows whose offered density reaches ``switch_threshold`` drop to
+    frame fidelity, the rest stay flow-level, and the outcomes stitch
+    back into one timeline.
+
+The stitching contract is seed isolation: every window — flow or frame
+— draws only from its own ``RngRegistry(seed)`` streams
+(``flow.window.<k>`` for sampling, ``flow.frame.<k>.*`` for the
+discrete replay), so a hybrid run's frame windows are **bit-identical**
+to the same windows of an all-frame run of the same ``(scenario,
+seed)``, and escalating one window never perturbs another.  The one
+approximation hybrid accepts is the window boundary itself: a
+transaction spanning a cut contends only inside its own window, so
+windows should be sized at least several transaction durations wide
+(the default scenarios are hundreds of durations wide).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.identifiers import IdentifierSpace
+from ..core.montecarlo import FixedDuration, _generate_arrivals, _replay
+from ..core.transactions import TransactionLog
+from ..obs.spans import span
+from ..sim.rng import RngRegistry
+from .sampler import FlowResult, WindowOutcome, WindowSpec, sample_window, window_plan
+from .streams import FlowScenario
+
+__all__ = ["FIDELITY_MODES", "frame_window", "simulate"]
+
+#: Supported fidelity modes, in increasing cost order.
+FIDELITY_MODES: Tuple[str, ...] = ("flow", "hybrid", "frame")
+
+#: Default density at which hybrid escalates a window to frame
+#: fidelity: past ~8 concurrent transactions, small identifier spaces
+#: are deep into the collision knee where the analytic model's
+#: worst-case overlap count matters most.
+DEFAULT_SWITCH_THRESHOLD = 8.0
+
+
+def frame_window(
+    scenario: FlowScenario, spec: WindowSpec, registry: RngRegistry
+) -> WindowOutcome:
+    """Replay one window at frame-level fidelity.
+
+    Per-stream Poisson arrivals are generated inside the window's
+    active overlap from the stream ``flow.frame.<k>.arrivals.<label>``,
+    merged in time order (ties break by the scenario's stream order),
+    identifiers drawn in merged arrival order from
+    ``flow.frame.<k>.identifiers``, and the whole window replayed
+    through the discrete event core's heap merge — the same collision
+    criterion, tie rules and all, as the Monte Carlo ground truth.
+    """
+    arrivals: List[Tuple[float, int, float]] = []
+    for order, stream in enumerate(scenario.streams):
+        lo = max(spec.t0, stream.start)
+        hi = min(spec.t1, stream.stop)
+        if hi <= lo or stream.arrival_rate <= 0:
+            continue
+        rng = registry.stream(f"flow.frame.{spec.index}.arrivals.{stream.label}")
+        starts, durations = _generate_arrivals(
+            stream.arrival_rate, FixedDuration(stream.duration), rng, lo, hi
+        )
+        arrivals.extend(zip(starts, [order] * len(starts), durations))
+    arrivals.sort(key=lambda event: (event[0], event[1]))
+    starts_merged = [event[0] for event in arrivals]
+    durations_merged = [event[2] for event in arrivals]
+    space = IdentifierSpace(scenario.id_bits)
+    id_rng = registry.stream(f"flow.frame.{spec.index}.identifiers")
+    sample = space.sample
+    identifiers = [sample(id_rng) for _ in starts_merged]
+    log = TransactionLog()
+    tracked = _replay(starts_merged, durations_merged, identifiers, log, warmup=0.0)
+    collided = sum(1 for txn in tracked if log.collided(txn))
+    return WindowOutcome(
+        index=spec.index,
+        fidelity="frame",
+        transactions=len(tracked),
+        collisions=collided,
+        density=spec.density,
+    )
+
+
+def _wants_frame(
+    fidelity: str, spec: WindowSpec, switch_threshold: float
+) -> bool:
+    if fidelity == "frame":
+        return True
+    if fidelity == "hybrid":
+        return spec.density >= switch_threshold
+    return False
+
+
+def simulate(
+    scenario: FlowScenario,
+    seed: int,
+    fidelity: str = "flow",
+    switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
+    model: str = "mixed",
+) -> FlowResult:
+    """Run ``scenario`` at the requested fidelity.
+
+    The result is a pure function of every argument; worker count,
+    profiling, and which *other* windows escalated never change a
+    window's outcome (see module docstring).  ``switch_threshold`` only
+    participates under ``fidelity="hybrid"`` but is always part of the
+    run's identity — cache keys must include both (satellite rule
+    SEED002 covers the wiring in :mod:`repro.flow.calibrate`).
+    """
+    if fidelity not in FIDELITY_MODES:
+        raise ValueError(f"unknown fidelity {fidelity!r}")
+    if switch_threshold <= 0:
+        raise ValueError("switch_threshold must be positive")
+    registry = RngRegistry(seed)
+    outcomes: List[WindowOutcome] = []
+    for spec in window_plan(scenario):
+        if _wants_frame(fidelity, spec, switch_threshold):
+            with span("flow.frame"):
+                outcomes.append(frame_window(scenario, spec, registry))
+        else:
+            with span("flow.sample"):
+                rng = registry.stream(f"flow.window.{spec.index}")
+                outcomes.append(
+                    sample_window(spec, scenario.id_bits, rng, model)
+                )
+    return FlowResult(
+        transactions=sum(w.transactions for w in outcomes),
+        collisions=sum(w.collisions for w in outcomes),
+        windows=tuple(outcomes),
+    )
+

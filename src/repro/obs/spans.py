@@ -48,7 +48,7 @@ __all__ = [
 ]
 
 #: The layer buckets every breakdown reports, even when zero.
-LAYER_BUCKETS: Tuple[str, ...] = ("radio", "mac", "aff", "apps", "engine")
+LAYER_BUCKETS: Tuple[str, ...] = ("radio", "mac", "aff", "apps", "engine", "flow")
 
 #: module prefix -> layer bucket, most specific first.
 _MODULE_LAYERS: Tuple[Tuple[str, str], ...] = (
@@ -59,6 +59,7 @@ _MODULE_LAYERS: Tuple[Tuple[str, str], ...] = (
     ("repro.sim", "engine"),
     ("repro.core", "core"),
     ("repro.exec", "exec"),
+    ("repro.flow", "flow"),
     ("repro.topology", "topology"),
 )
 

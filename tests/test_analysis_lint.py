@@ -390,6 +390,89 @@ class TestObservabilityRules:
 
 
 # ----------------------------------------------------------------------
+# Rule pack 8: flow-fidelity sampling hygiene
+# ----------------------------------------------------------------------
+class TestFlowRules:
+    def test_flow001_flags_underived_random_construction(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "def draw_window(k):\n"
+            "    rng = random.Random(1234)\n"
+            "    return rng.random()\n",
+            relpath="flow/sampler.py",
+        )
+        assert rule_ids(findings) == ["FLOW001"]
+        assert findings[0].line == 3
+
+    def test_flow001_flags_ambient_module_draw(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "def draw_window(k):\n"
+            "    return random.random()\n",
+            relpath="flow/sampler.py",
+        )
+        # DET002 co-fires on the shared-state draw; FLOW001 adds the
+        # flow-specific requirement.
+        assert "FLOW001" in rule_ids(findings)
+
+    def test_flow001_allows_registry_and_derived_streams(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "from repro.sim.rng import RngRegistry, derive_seed\n"
+            "def draw_window(seed, k):\n"
+            "    rng = RngRegistry(seed).stream(f'flow.window.{k}')\n"
+            "    frame = random.Random(derive_seed(seed, 'flow.frame'))\n"
+            "    return rng.random() + frame.random()\n",
+            relpath="flow/sampler.py",
+        )
+        assert [f for f in findings if f.rule_id == "FLOW001"] == []
+
+    def test_flow001_scoped_to_flow_packages(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "def draw(k):\n"
+            "    return random.Random(1234).random()\n",
+            relpath="core/sampler.py",
+        )
+        assert "FLOW001" not in rule_ids(findings)
+
+    def test_flow001_inline_suppression(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "def draw_window(k):\n"
+            "    rng = random.Random(1234)  # lint: ignore[FLOW001]\n"
+            "    return rng.random()\n",
+            relpath="flow/sampler.py",
+        )
+        assert [f for f in findings if f.rule_id == "FLOW001"] == []
+
+    def test_flow001_sarif_help_uri(self, tmp_path):
+        from repro.analysis.sarif import to_sarif
+
+        target = tmp_path / "flow" / "sampler.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "import random\n"
+            "def draw_window(k):\n"
+            "    return random.Random(99).random()\n",
+            encoding="utf-8",
+        )
+        report = Linter().lint_paths([target])
+        document = to_sarif(report, all_rules())
+        rules = document["runs"][0]["tool"]["driver"]["rules"]
+        assert any(
+            rule["id"] == "FLOW001"
+            and rule["helpUri"].endswith("#pack-8--flow-fidelity-flow")
+            for rule in rules
+        )
+
+
+# ----------------------------------------------------------------------
 # Suppression and baseline workflow
 # ----------------------------------------------------------------------
 class TestSuppressionAndBaseline:
@@ -545,6 +628,7 @@ class TestShippedTree:
             "RNG001",
             "RNG002",
             "OBS001",
+            "FLOW001",
         } <= ids
 
 
@@ -557,6 +641,7 @@ def test_mypy_strict_on_analysis_and_exec_packages():
 
     stdout, stderr, status = mypy_api.run(
         ["--config-file", str(SRC_ROOT.parent / "setup.cfg"),
-         "-p", "repro.analysis", "-p", "repro.exec", "-p", "repro.obs"]
+         "-p", "repro.analysis", "-p", "repro.exec", "-p", "repro.obs",
+         "-p", "repro.flow"]
     )
     assert status == 0, stdout + stderr

@@ -51,7 +51,7 @@ class TestMarkdownLinks:
         ["README.md", "DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md",
          "docs/architecture.md", "docs/protocol.md", "docs/model.md",
          "docs/tutorial.md", "docs/parallel.md", "docs/static-analysis.md",
-         "docs/observability.md"],
+         "docs/observability.md", "docs/flow.md"],
     )
     def test_relative_links_resolve(self, doc):
         text = (REPO / doc).read_text()

@@ -1,0 +1,114 @@
+"""The hybrid fidelity switch.
+
+The stitching contract under test (ISSUE 7 satellite): a hybrid run's
+frame-level windows are bit-identical to the same windows of a pure
+frame-level run of the same ``(scenario, seed)`` — escalation is
+per-window and seed-isolated, so fidelity routing never perturbs a
+window's draws.  The frame windows themselves are also checked against
+a direct discrete-core replay of the same arrivals.
+"""
+
+import pytest
+
+from repro.core.model import collision_probability_mixed
+from repro.flow.hybrid import FIDELITY_MODES, frame_window, simulate
+from repro.flow.sampler import sample_flow, window_plan
+from repro.flow.streams import FlowScenario, TransactionStream, figure4_scenario
+from repro.sim.rng import RngRegistry
+
+
+def _burst_scenario() -> FlowScenario:
+    """Low baseline + one contended phase that crosses the threshold."""
+    streams = (
+        TransactionStream("base", 2.0, 1.0),
+        TransactionStream("burst", 18.0, 1.0, start=40.0, stop=60.0),
+    )
+    return FlowScenario(id_bits=4, horizon=100.0, window=10.0, streams=streams)
+
+
+class TestFidelityRouting:
+    def test_flow_mode_equals_pure_sampler(self):
+        scenario = figure4_scenario(4, 5.0, horizon=100.0, window=10.0)
+        assert simulate(scenario, 11, fidelity="flow") == sample_flow(
+            scenario, 11
+        )
+
+    def test_hybrid_escalates_only_contended_windows(self):
+        scenario = _burst_scenario()
+        result = simulate(scenario, 3, fidelity="hybrid", switch_threshold=8.0)
+        by_fidelity = {w.index: w.fidelity for w in result.windows}
+        # Burst spans [40, 60): windows 4 and 5 carry density 20, the
+        # rest stay at the baseline's density 2.
+        assert by_fidelity[4] == "frame" and by_fidelity[5] == "frame"
+        assert result.frame_windows == 2
+        assert all(
+            fidelity == "flow"
+            for index, fidelity in by_fidelity.items()
+            if index not in (4, 5)
+        )
+
+    def test_frame_mode_escalates_everything(self):
+        scenario = _burst_scenario()
+        result = simulate(scenario, 3, fidelity="frame")
+        assert result.frame_windows == len(result.windows)
+
+    def test_rejects_unknown_fidelity(self):
+        scenario = _burst_scenario()
+        with pytest.raises(ValueError):
+            simulate(scenario, 0, fidelity="fluid")
+        with pytest.raises(ValueError):
+            simulate(scenario, 0, fidelity="hybrid", switch_threshold=0.0)
+
+    def test_fidelity_modes_constant(self):
+        assert set(FIDELITY_MODES) == {"flow", "frame", "hybrid"}
+
+
+class TestFrameWindowBitIdentity:
+    """Satellite: hybrid frame windows == pure frame run, bit for bit."""
+
+    def test_hybrid_frame_windows_match_pure_frame_run(self):
+        scenario = _burst_scenario()
+        hybrid = simulate(scenario, 7, fidelity="hybrid", switch_threshold=8.0)
+        frame = simulate(scenario, 7, fidelity="frame")
+        frame_by_index = {w.index: w for w in frame.windows}
+        escalated = [w for w in hybrid.windows if w.fidelity == "frame"]
+        assert escalated, "burst must escalate at least one window"
+        for window in escalated:
+            assert window == frame_by_index[window.index]
+
+    def test_hybrid_flow_windows_match_pure_flow_run(self):
+        scenario = _burst_scenario()
+        hybrid = simulate(scenario, 7, fidelity="hybrid", switch_threshold=8.0)
+        flow = simulate(scenario, 7, fidelity="flow")
+        flow_by_index = {w.index: w for w in flow.windows}
+        for window in hybrid.windows:
+            if window.fidelity == "flow":
+                assert window == flow_by_index[window.index]
+
+    def test_frame_window_is_pure_function_of_seed(self):
+        scenario = _burst_scenario()
+        spec = window_plan(scenario)[4]
+        first = frame_window(scenario, spec, RngRegistry(9))
+        again = frame_window(scenario, spec, RngRegistry(9))
+        assert first == again
+        other = frame_window(scenario, spec, RngRegistry(10))
+        assert first != other
+
+    def test_frame_window_independent_of_consumption_order(self):
+        # Drawing another window first must not shift this window's
+        # streams: registry streams are keyed by name, not call order.
+        scenario = _burst_scenario()
+        plan = window_plan(scenario)
+        registry = RngRegistry(21)
+        frame_window(scenario, plan[5], registry)  # consume a neighbour
+        perturbed = frame_window(scenario, plan[4], registry)
+        fresh = frame_window(scenario, plan[4], RngRegistry(21))
+        assert perturbed == fresh
+
+
+class TestFrameAccuracy:
+    def test_frame_rate_tracks_model_in_stationary_window(self):
+        scenario = figure4_scenario(4, 5.0, horizon=300.0, window=50.0)
+        result = simulate(scenario, 13, fidelity="frame")
+        expected = collision_probability_mixed(4, 5.0, [1.0])
+        assert result.collision_rate == pytest.approx(expected, abs=0.06)
