@@ -97,7 +97,7 @@ SCENARIOS: Dict[str, tuple] = {
     ),
     "massive-flow": (
         lambda cfg: scenarios.massive_flow_scenario(
-            horizon=max(4 * cfg.duration, 60.0), seed=cfg.seed
+            horizon=max(4 * cfg.duration, 60.0), seed=cfg.seed, runner=cfg.runner
         ),
         "10k-node flow-level run with a hybrid burst cross-check",
     ),

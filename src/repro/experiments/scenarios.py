@@ -686,6 +686,9 @@ def massive_flow_scenario(
     packets_per_node: float = 0.2,
     switch_threshold: float = 70.0,
     seed: int = 0,
+    runner: Optional[TrialRunner] = None,
+    flow_shards: Optional[int] = None,
+    partition: str = "cost",
 ) -> Dict[str, float]:
     """The 10k-node family at flow fidelity, with a hybrid cross-check.
 
@@ -696,8 +699,18 @@ def massive_flow_scenario(
     the burst windows (density past ``switch_threshold``) pay for
     frame-level replay — the reported gap between the two is the
     fidelity the analytic sampler gives up inside contended windows.
+
+    With ``runner`` (and optionally ``flow_shards`` / ``partition``)
+    both runs shard their window plans across the runner's workers —
+    the returned numbers are bit-identical to the serial path at any
+    worker/shard count (:mod:`repro.flow.shard`).
     """
-    from ..flow import massive_scenario, scenario_peak_density, simulate
+    from ..flow import (
+        massive_scenario,
+        scenario_peak_density,
+        simulate,
+        simulate_sharded,
+    )
 
     scenario = massive_scenario(
         n_nodes=n_nodes,
@@ -706,10 +719,29 @@ def massive_flow_scenario(
         window=window,
         packets_per_node=packets_per_node,
     )
-    flow = simulate(scenario, seed, fidelity="flow")
-    hybrid = simulate(
-        scenario, seed, fidelity="hybrid", switch_threshold=switch_threshold
-    )
+    if runner is not None or flow_shards is not None:
+        flow = simulate_sharded(
+            scenario,
+            seed,
+            fidelity="flow",
+            shards=flow_shards,
+            strategy=partition,
+            runner=runner,
+        )
+        hybrid = simulate_sharded(
+            scenario,
+            seed,
+            fidelity="hybrid",
+            switch_threshold=switch_threshold,
+            shards=flow_shards,
+            strategy=partition,
+            runner=runner,
+        )
+    else:
+        flow = simulate(scenario, seed, fidelity="flow")
+        hybrid = simulate(
+            scenario, seed, fidelity="hybrid", switch_threshold=switch_threshold
+        )
     return {
         "nodes": float(n_nodes),
         "peak_density": scenario_peak_density(scenario),

@@ -8,6 +8,10 @@ models (:mod:`~repro.flow.sampler`), with an optional hybrid switch
 that replays only contended windows through the discrete event core
 (:mod:`~repro.flow.hybrid`).  :mod:`~repro.flow.calibrate` pins the
 flow sampler against the discrete ground truth on the Figure-4 grid.
+:mod:`~repro.flow.shard` fans the window plan out across
+:class:`~repro.exec.TrialRunner` workers, bit-identical to serial at
+any worker/shard count; :mod:`~repro.flow.fastpath` vectorises the
+per-window draws, bit-identical to the scalar loops.
 
 Scale target (ROADMAP): 10k–1M-node scenarios, millions of
 transactions, seconds of wall clock.  See ``docs/flow.md``.
@@ -19,14 +23,25 @@ from .calibrate import (
     calibrate,
     replicate_flow,
 )
-from .hybrid import DEFAULT_SWITCH_THRESHOLD, FIDELITY_MODES, simulate
+from .fastpath import HAVE_NUMPY, pure_sampling
+from .hybrid import DEFAULT_SWITCH_THRESHOLD, FIDELITY_MODES, simulate, wants_frame
 from .sampler import (
     FlowResult,
     WindowOutcome,
     WindowSpec,
     sample_flow,
     sample_window,
+    window_collision_probability,
     window_plan,
+)
+from .shard import (
+    PARTITION_STRATEGIES,
+    WindowRange,
+    merge_range_values,
+    partition_plan,
+    simulate_sharded,
+    simulate_traced,
+    window_range_trial,
 )
 from .streams import (
     FlowScenario,
@@ -42,19 +57,30 @@ __all__ = [
     "CalibrationReport",
     "DEFAULT_SWITCH_THRESHOLD",
     "FIDELITY_MODES",
+    "HAVE_NUMPY",
+    "PARTITION_STRATEGIES",
     "FlowResult",
     "FlowScenario",
     "TransactionStream",
     "WindowOutcome",
+    "WindowRange",
     "WindowSpec",
     "aggregate_node_workload",
     "calibrate",
     "figure4_scenario",
     "massive_scenario",
+    "merge_range_values",
+    "partition_plan",
+    "pure_sampling",
     "replicate_flow",
     "sample_flow",
     "sample_window",
     "scenario_peak_density",
     "simulate",
+    "simulate_sharded",
+    "simulate_traced",
+    "wants_frame",
+    "window_collision_probability",
     "window_plan",
+    "window_range_trial",
 ]

@@ -40,6 +40,13 @@ from ..exec import (
 )
 from ..experiments.figures import FIG4_DEFAULT_ID_BITS
 from .hybrid import DEFAULT_SWITCH_THRESHOLD, simulate
+from .sampler import window_plan
+from .shard import (
+    merge_range_values,
+    partition_plan,
+    range_trial_key,
+    window_range_trial,
+)
 from .streams import figure4_scenario
 
 __all__ = [
@@ -92,6 +99,102 @@ def _flow_trial(
     }
 
 
+def _sharded_flow_results(
+    id_bits: int,
+    density: float,
+    trials: int,
+    base_seed: int,
+    horizon: float,
+    window: float,
+    fidelity: str,
+    switch_threshold: float,
+    model: str,
+    runner: TrialRunner,
+    flow_shards: int,
+    partition: str,
+    point: str,
+) -> List[Dict[str, float]]:
+    """Replicate results via sharded window-range trials.
+
+    Bit-identical to the serial :func:`_flow_trial` path: replicate
+    seeds derive from the *unchanged* canonical point (shard count and
+    partition strategy never touch seed derivation), and the merged
+    per-replicate windows equal the serial run's exactly.  The shard
+    parameters enter only the range cache keys
+    (:func:`repro.flow.shard.range_trial_key`), so different
+    decompositions never alias in the cache.
+    """
+    scenario = figure4_scenario(id_bits, density, horizon=horizon, window=window)
+    plan = window_plan(scenario)
+    ranges = partition_plan(
+        plan,
+        flow_shards,
+        strategy=partition,
+        fidelity=fidelity,
+        switch_threshold=switch_threshold,
+    )
+    specs: List[TrialSpec] = []
+    owners: List[int] = []
+    for k in range(trials):
+        seed = derive_trial_seed(base_seed, point, k)
+        for window_range in ranges:
+            key = None
+            if runner.cache is not None:
+                key = range_trial_key(
+                    scenario,
+                    seed,
+                    window_range.lo,
+                    window_range.hi,
+                    shards=flow_shards,
+                    strategy=partition,
+                    fidelity=fidelity,
+                    switch_threshold=switch_threshold,
+                    model=model,
+                )
+            specs.append(
+                TrialSpec(
+                    fn=window_range_trial,
+                    kwargs=dict(
+                        scenario=scenario,
+                        seed=seed,
+                        lo=window_range.lo,
+                        hi=window_range.hi,
+                        fidelity=fidelity,
+                        switch_threshold=switch_threshold,
+                        model=model,
+                    ),
+                    label=(
+                        f"flow:{id_bits}b:T{density}#{k}"
+                        f":w{window_range.lo}-{window_range.hi}"
+                    ),
+                    cache_key=key,
+                )
+            )
+            owners.append(k)
+    outcomes = runner.run(specs)
+    results: List[Dict[str, float]] = []
+    for k in range(trials):
+        values = [
+            outcome.value
+            for outcome, owner in zip(outcomes, owners)
+            if owner == k and outcome.ok
+        ]
+        if len(values) != len(ranges):
+            # A lost range makes the replicate unmergeable; drop it the
+            # way the serial path drops a failed trial.
+            continue
+        merged = merge_range_values(values, expected_windows=len(plan))
+        results.append(
+            {
+                "transactions": float(merged.transactions),
+                "collisions": float(merged.collisions),
+                "collision_rate": merged.collision_rate,
+                "frame_windows": float(merged.frame_windows),
+            }
+        )
+    return results
+
+
 def replicate_flow(
     id_bits: int,
     density: float,
@@ -103,6 +206,8 @@ def replicate_flow(
     switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
     model: str = "mixed",
     runner: Optional[TrialRunner] = None,
+    flow_shards: Optional[int] = None,
+    partition: str = "cost",
 ) -> Tuple[float, float, List[Dict[str, float]]]:
     """Replicated flow-level collision rate: ``(mean, stdev, results)``.
 
@@ -112,6 +217,12 @@ def replicate_flow(
     and therefore both the derived seeds and the cache keys — includes
     ``fidelity``, ``switch_threshold`` and ``model``, so runs that
     differ only in fidelity can never collide in the cache.
+
+    With ``flow_shards`` each replicate additionally shards its window
+    plan into that many ranges (``partition`` strategy, see
+    :func:`repro.flow.shard.partition_plan`), fanning the ranges — not
+    just the replicates — across the runner's workers.  Results are
+    bit-identical either way.
     """
     if trials < 1:
         raise ValueError("need at least one trial")
@@ -126,33 +237,51 @@ def replicate_flow(
         "model": model,
     }
     point = canonical_point(point_params)
-    specs: List[TrialSpec] = []
-    for k in range(trials):
-        seed = derive_trial_seed(base_seed, point, k)
-        key = None
-        if runner.cache is not None:
-            key = trial_key(_FLOW_TRIAL_FN, dict(point_params), seed, __version__)
-        specs.append(
-            TrialSpec(
-                fn=_flow_trial,
-                kwargs=dict(
-                    id_bits=id_bits,
-                    density=density,
-                    horizon=horizon,
-                    window=window,
-                    fidelity=fidelity,
-                    switch_threshold=switch_threshold,
-                    model=model,
-                    seed=seed,
-                ),
-                label=f"flow:{id_bits}b:T{density}#{k}",
-                cache_key=key,
-            )
+    results: List[Dict[str, float]]
+    if flow_shards is not None:
+        results = _sharded_flow_results(
+            id_bits,
+            density,
+            trials,
+            base_seed,
+            horizon,
+            window,
+            fidelity,
+            switch_threshold,
+            model,
+            runner,
+            flow_shards,
+            partition,
+            point,
         )
-    outcomes = runner.run(specs)
-    results: List[Dict[str, float]] = [
-        dict(outcome.value) for outcome in outcomes if outcome.ok
-    ]
+    else:
+        specs: List[TrialSpec] = []
+        for k in range(trials):
+            seed = derive_trial_seed(base_seed, point, k)
+            key = None
+            if runner.cache is not None:
+                key = trial_key(
+                    _FLOW_TRIAL_FN, dict(point_params), seed, __version__
+                )
+            specs.append(
+                TrialSpec(
+                    fn=_flow_trial,
+                    kwargs=dict(
+                        id_bits=id_bits,
+                        density=density,
+                        horizon=horizon,
+                        window=window,
+                        fidelity=fidelity,
+                        switch_threshold=switch_threshold,
+                        model=model,
+                        seed=seed,
+                    ),
+                    label=f"flow:{id_bits}b:T{density}#{k}",
+                    cache_key=key,
+                )
+            )
+        outcomes = runner.run(specs)
+        results = [dict(outcome.value) for outcome in outcomes if outcome.ok]
     rates = [
         r["collision_rate"]
         for r in results
@@ -274,13 +403,18 @@ def calibrate(
     switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
     model: str = "mixed",
     runner: Optional[TrialRunner] = None,
+    flow_shards: Optional[int] = None,
+    partition: str = "cost",
 ) -> CalibrationReport:
     """Run both cores across the grid and report per-point divergence.
 
     The discrete side excludes its first ``warmup`` seconds (early
     transactions see a half-empty world); the flow model is
     steady-state by construction, so the warmup aligns the two
-    estimands rather than hiding disagreement.
+    estimands rather than hiding disagreement.  ``flow_shards`` /
+    ``partition`` shard each flow replicate's window plan across the
+    runner (see :func:`replicate_flow`); the report is bit-identical
+    either way.
     """
     runner = runner if runner is not None else TrialRunner()
     points: List[CalibrationPoint] = []
@@ -297,6 +431,8 @@ def calibrate(
                 switch_threshold=switch_threshold,
                 model=model,
                 runner=runner,
+                flow_shards=flow_shards,
+                partition=partition,
             )
             discrete_mean, discrete_stdev, _discrete = replicate_collision_rate(
                 id_bits,

@@ -4,8 +4,10 @@
 
     repro flow run --nodes 10000 --fidelity flow --summary flow.json
     repro flow run --nodes 2000 --fidelity hybrid --threshold 8
+    repro flow run --nodes 100000 --flow-workers 4 --trace run.jsonl
     repro flow calibrate --trials 3 --tolerance 0.05 --workers 4
     repro flow calibrate --id-bits 3 5 --density 2 5 --horizon 120
+    repro flow calibrate --workers 4 --flow-shards 4 --fidelity frame
 
 ``flow calibrate`` exits 0 when every grid point's flow-vs-discrete
 collision-rate divergence is within tolerance, 1 when the budget is
@@ -83,50 +85,109 @@ def _cmd_run(args: argparse.Namespace) -> int:
         window=args.window,
         packets_per_node=args.rate,
     )
+    # Sharded execution engages when the user asks for workers/shards
+    # or a trace (traces always go through the shard-and-merge path so
+    # serial and parallel runs produce byte-identical files).
+    sharded = (
+        args.flow_workers > 1
+        or args.flow_shards is not None
+        or args.trace is not None
+    )
+    runner: Optional[Any] = None
     profiler: Optional[SpanProfiler] = SpanProfiler() if args.profile else None
     clock = SpanProfiler.clock
     t0 = clock()
     with profiling(profiler) if profiler is not None else nullcontext():
-        result = simulate(
-            scenario,
-            args.seed,
-            fidelity=args.fidelity,
-            switch_threshold=args.threshold,
-            model=args.model,
-        )
+        if sharded:
+            from ..exec import TrialRunner
+            from .shard import simulate_sharded, simulate_traced
+
+            runner = TrialRunner(
+                workers=args.flow_workers, profile=args.profile
+            )
+            if args.trace:
+                result = simulate_traced(
+                    scenario,
+                    args.seed,
+                    args.trace,
+                    fidelity=args.fidelity,
+                    switch_threshold=args.threshold,
+                    model=args.model,
+                    shards=args.flow_shards,
+                    strategy=args.partition,
+                    runner=runner,
+                )
+            else:
+                result = simulate_sharded(
+                    scenario,
+                    args.seed,
+                    fidelity=args.fidelity,
+                    switch_threshold=args.threshold,
+                    model=args.model,
+                    shards=args.flow_shards,
+                    strategy=args.partition,
+                    runner=runner,
+                )
+        else:
+            result = simulate(
+                scenario,
+                args.seed,
+                fidelity=args.fidelity,
+                switch_threshold=args.threshold,
+                model=args.model,
+            )
     wall = clock() - t0
+    layout = ""
+    if sharded:
+        shards = (
+            args.flow_shards
+            if args.flow_shards is not None
+            else max(args.flow_workers, 1)
+        )
+        layout = f", {args.flow_workers} worker(s) × {shards} shard(s)"
     print(
         f"{args.fidelity} run: {result.transactions} transactions, "
         f"collision rate {result.collision_rate:.4f}, "
         f"{result.frame_windows}/{len(result.windows)} frame window(s), "
         f"peak density {scenario_peak_density(scenario):.1f}, "
-        f"{wall:.2f}s wall"
+        f"{wall:.2f}s wall{layout}"
     )
+    if args.trace:
+        print(f"wrote {args.trace}")
     if args.summary:
+        payload: Dict[str, Any] = {
+            "scenario": {
+                "nodes": args.nodes,
+                "id_bits": args.id_bits,
+                "horizon": args.horizon,
+                "window": args.window,
+                "rate": args.rate,
+            },
+            "fidelity": args.fidelity,
+            "switch_threshold": args.threshold,
+            "model": args.model,
+            "seed": args.seed,
+            "transactions": result.transactions,
+            "collisions": result.collisions,
+            "collision_rate": result.collision_rate,
+            "frame_windows": result.frame_windows,
+            "windows": len(result.windows),
+            "wall_time": wall,
+        }
+        if sharded:
+            payload["flow_workers"] = args.flow_workers
+            payload["flow_shards"] = args.flow_shards
+            payload["partition"] = args.partition
         _write_envelope(
             args.summary,
             "flow-summary",
-            {
-                "scenario": {
-                    "nodes": args.nodes,
-                    "id_bits": args.id_bits,
-                    "horizon": args.horizon,
-                    "window": args.window,
-                    "rate": args.rate,
-                },
-                "fidelity": args.fidelity,
-                "switch_threshold": args.threshold,
-                "model": args.model,
-                "seed": args.seed,
-                "transactions": result.transactions,
-                "collisions": result.collisions,
-                "collision_rate": result.collision_rate,
-                "frame_windows": result.frame_windows,
-                "windows": len(result.windows),
-                "wall_time": wall,
-            },
-            spans=profiler.to_json() if profiler is not None else None,
-            telemetry=None,
+            payload,
+            spans=_merged_spans(profiler, runner),
+            telemetry=(
+                runner.telemetry.summary()
+                if runner is not None and runner.telemetry.trials
+                else None
+            ),
         )
         print(f"wrote {args.summary}")
     return 0
@@ -156,6 +217,8 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
                 switch_threshold=args.threshold,
                 model=args.model,
                 runner=runner,
+                flow_shards=args.flow_shards,
+                partition=args.partition,
             )
     except ValueError as exc:
         print(f"flow calibrate: {exc}", file=sys.stderr)
@@ -190,6 +253,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     from .calibrate import DEFAULT_DENSITIES, DEFAULT_TOLERANCE
     from .hybrid import DEFAULT_SWITCH_THRESHOLD, FIDELITY_MODES
     from .sampler import COLLISION_MODELS
+    from .shard import PARTITION_STRATEGIES
 
     sub = parser.add_subparsers(dest="flow_command", required=True)
 
@@ -217,6 +281,19 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                      "layer breakdown)")
     run.add_argument("--profile", action="store_true",
                      help="profile per-layer wall time (observational only)")
+    run.add_argument("--flow-workers", type=int, default=1, metavar="N",
+                     help="TrialRunner workers for sharded window "
+                     "execution (results bit-identical at any count)")
+    run.add_argument("--flow-shards", type=int, default=None, metavar="N",
+                     help="window ranges to partition the plan into "
+                     "(default: one per worker)")
+    run.add_argument("--partition", choices=PARTITION_STRATEGIES,
+                     default="cost",
+                     help="shard partition strategy (cost balances "
+                     "offered load + frame escalations)")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="export the merged run trace (byte-identical "
+                     "at any worker/shard count)")
     run.set_defaults(func=_cmd_run)
 
     cal = sub.add_parser(
@@ -248,5 +325,11 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     cal.add_argument("--summary", default=None, metavar="PATH",
                      help="write a flow-calibration envelope (report, "
                      "spans, telemetry)")
+    cal.add_argument("--flow-shards", type=int, default=None, metavar="N",
+                     help="shard each flow replicate's window plan "
+                     "across the runner (bit-identical results)")
+    cal.add_argument("--partition", choices=PARTITION_STRATEGIES,
+                     default="cost",
+                     help="shard partition strategy")
     _add_exec_flags(cal)
     cal.set_defaults(func=_cmd_calibrate)

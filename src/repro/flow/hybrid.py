@@ -31,17 +31,18 @@ windows should be sized at least several transaction durations wide
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.identifiers import IdentifierSpace
 from ..core.montecarlo import FixedDuration, _generate_arrivals, _replay
 from ..core.transactions import TransactionLog
+from ..obs.envelope import TraceWriter
 from ..obs.spans import span
 from ..sim.rng import RngRegistry
 from .sampler import FlowResult, WindowOutcome, WindowSpec, sample_window, window_plan
 from .streams import FlowScenario
 
-__all__ = ["FIDELITY_MODES", "frame_window", "simulate"]
+__all__ = ["FIDELITY_MODES", "frame_window", "simulate", "wants_frame"]
 
 #: Supported fidelity modes, in increasing cost order.
 FIDELITY_MODES: Tuple[str, ...] = ("flow", "hybrid", "frame")
@@ -54,7 +55,10 @@ DEFAULT_SWITCH_THRESHOLD = 8.0
 
 
 def frame_window(
-    scenario: FlowScenario, spec: WindowSpec, registry: RngRegistry
+    scenario: FlowScenario,
+    spec: WindowSpec,
+    registry: RngRegistry,
+    writer: Optional[TraceWriter] = None,
 ) -> WindowOutcome:
     """Replay one window at frame-level fidelity.
 
@@ -65,6 +69,11 @@ def frame_window(
     ``flow.frame.<k>.identifiers``, and the whole window replayed
     through the discrete event core's heap merge — the same collision
     criterion, tie rules and all, as the Monte Carlo ground truth.
+
+    With ``writer`` the window streams one record per transaction in
+    arrival order (strictly inside ``(t0, t1)``, so a range shard's
+    records stay time-sorted around the window boundary records the
+    caller emits at ``t0``/``t1``).
     """
     arrivals: List[Tuple[float, int, float]] = []
     for order, stream in enumerate(scenario.streams):
@@ -87,6 +96,15 @@ def frame_window(
     log = TransactionLog()
     tracked = _replay(starts_merged, durations_merged, identifiers, log, warmup=0.0)
     collided = sum(1 for txn in tracked if log.collided(txn))
+    if writer is not None:
+        for when, ident, txn in zip(starts_merged, identifiers, tracked):
+            writer.emit(
+                when,
+                "flow.txn",
+                window=spec.index,
+                identifier=ident,
+                collided=log.collided(txn),
+            )
     return WindowOutcome(
         index=spec.index,
         fidelity="frame",
@@ -96,9 +114,15 @@ def frame_window(
     )
 
 
-def _wants_frame(
+def wants_frame(
     fidelity: str, spec: WindowSpec, switch_threshold: float
 ) -> bool:
+    """Whether ``spec`` escalates to frame fidelity under ``fidelity``.
+
+    Shared with the shard partitioner's cost model
+    (:func:`repro.flow.shard.window_cost`), so partitioning and
+    execution always agree on which windows pay the frame-replay cost.
+    """
     if fidelity == "frame":
         return True
     if fidelity == "hybrid":
@@ -129,7 +153,7 @@ def simulate(
     registry = RngRegistry(seed)
     outcomes: List[WindowOutcome] = []
     for spec in window_plan(scenario):
-        if _wants_frame(fidelity, spec, switch_threshold):
+        if wants_frame(fidelity, spec, switch_threshold):
             with span("flow.frame"):
                 outcomes.append(frame_window(scenario, spec, registry))
         else:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Tuple
 
 from ..core.model import collision_probability, collision_probability_mixed
@@ -155,23 +156,50 @@ def window_plan(scenario: FlowScenario) -> List[WindowSpec]:
     return plan
 
 
+@lru_cache(maxsize=4096)
+def _collision_probability_cached(
+    id_bits: int,
+    model: str,
+    arrival_rate: float,
+    durations: Tuple[float, ...],
+    weights: Tuple[float, ...],
+    density: float,
+) -> float:
+    if model == "eq4":
+        return float(collision_probability(id_bits, max(density, 1.0)))
+    return float(
+        collision_probability_mixed(
+            id_bits,
+            arrival_rate,
+            list(durations),
+            list(weights),
+        )
+    )
+
+
 def window_collision_probability(
     id_bits: int, window: WindowSpec, model: str = "mixed"
 ) -> float:
-    """Collision probability of one transaction in ``window``."""
+    """Collision probability of one transaction in ``window``.
+
+    Memoized on the load mix ``(arrival_rate, durations, weights,
+    density)`` rather than the window's position: a stationary stream
+    offers the same mix in every window, and a calibration sweep
+    re-visits the same grid point across replicates, so the mixed
+    model's numeric integration runs once per distinct mix instead of
+    once per window (``tests/test_flow_sampler.py`` pins equivalence).
+    """
     if model not in COLLISION_MODELS:
         raise ValueError(f"unknown collision model {model!r}")
     if window.arrival_rate <= 0:
         return 0.0
-    if model == "eq4":
-        return float(collision_probability(id_bits, max(window.density, 1.0)))
-    return float(
-        collision_probability_mixed(
-            id_bits,
-            window.arrival_rate,
-            list(window.durations),
-            list(window.weights),
-        )
+    return _collision_probability_cached(
+        id_bits,
+        model,
+        window.arrival_rate,
+        window.durations,
+        window.weights,
+        window.density,
     )
 
 
@@ -213,8 +241,17 @@ def sample_window(
     """Draw one window's transaction count and collision count.
 
     Draw order (count, then one Bernoulli per transaction) is part of
-    the determinism contract; reordering re-rolls recorded runs.
+    the determinism contract; reordering re-rolls recorded runs.  When
+    the stream is a plain ``random.Random`` and NumPy is available the
+    draws run through the vectorised fast path
+    (:mod:`repro.flow.fastpath`), which is bit-identical to this loop
+    including the stream's final state.
     """
+    from .fastpath import sample_window_fast
+
+    fast = sample_window_fast(window, id_bits, rng, model)
+    if fast is not None:
+        return fast
     n = poisson(rng, window.arrival_rate * window.width)
     if n == 0:
         return WindowOutcome(window.index, "flow", 0, 0, window.density)

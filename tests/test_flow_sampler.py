@@ -154,3 +154,59 @@ class TestWindowCollisionProbability:
         plan = window_plan(scenario)
         outcome = sample_window(plan[0], 4, random.Random(1))
         assert outcome.transactions == 0 and outcome.collisions == 0
+
+
+class TestMemoization:
+    """`window_collision_probability` memoizes on the load mix.
+
+    ISSUE 8 satellite: windows sharing (rate, durations, weights,
+    density) — every window of a stationary scenario, every replicate
+    of a calibration grid point — must compute the mixed model's
+    numeric integration once, and the memoized value must equal the
+    direct model evaluation exactly.
+    """
+
+    def setup_method(self):
+        from repro.flow.sampler import _collision_probability_cached
+
+        _collision_probability_cached.cache_clear()
+
+    def test_equivalent_windows_share_one_computation(self):
+        from repro.flow.sampler import _collision_probability_cached
+
+        scenario = figure4_scenario(5, 5.0, horizon=100.0, window=10.0)
+        plan = window_plan(scenario)
+        assert len(plan) == 10
+        values = {
+            window_collision_probability(5, spec, model="mixed")
+            for spec in plan
+        }
+        assert len(values) == 1  # stationary load: one distinct mix
+        info = _collision_probability_cached.cache_info()
+        assert info.misses == 1
+        assert info.hits == len(plan) - 1
+
+    def test_memoized_value_equals_direct_model(self):
+        for density in FIG4_DENSITIES:
+            scenario = figure4_scenario(5, density, horizon=50.0, window=10.0)
+            spec = window_plan(scenario)[0]
+            expected = collision_probability_mixed(
+                5, spec.arrival_rate, list(spec.durations), list(spec.weights)
+            )
+            # Twice: the miss and the hit must both equal the model.
+            assert window_collision_probability(5, spec) == expected
+            assert window_collision_probability(5, spec) == expected
+
+    def test_eq4_memoized_value_equals_direct_model(self):
+        scenario = figure4_scenario(4, 5.0, horizon=50.0, window=10.0)
+        spec = window_plan(scenario)[0]
+        expected = collision_probability(4, max(spec.density, 1.0))
+        assert window_collision_probability(4, spec, model="eq4") == expected
+        assert window_collision_probability(4, spec, model="eq4") == expected
+
+    def test_distinct_mixes_do_not_collide(self):
+        light = window_plan(figure4_scenario(5, 2.0, horizon=10.0, window=10.0))[0]
+        heavy = window_plan(figure4_scenario(5, 16.0, horizon=10.0, window=10.0))[0]
+        assert window_collision_probability(5, light) != (
+            window_collision_probability(5, heavy)
+        )
