@@ -43,6 +43,18 @@ _CHECKSUM_BITS = 16
 _OFFSET_BITS = 16
 _FRAGLEN_BITS = 8
 
+#: Largest per-sender packet number the 16-bit counter field encodes.
+MAX_PACKET_ID = (1 << _PKT_BITS) - 1
+
+#: Largest reassembled packet the length field can describe, in bytes.
+MAX_TOTAL_LENGTH = (1 << _LENGTH_BITS) - 1
+
+#: Largest byte offset a data fragment can claim.
+MAX_OFFSET = (1 << _OFFSET_BITS) - 1
+
+#: Largest payload one data fragment can carry, in bytes.
+MAX_FRAGMENT_PAYLOAD = (1 << _FRAGLEN_BITS) - 1
+
 DeliveryCallback = Callable[[bytes], None]
 
 
@@ -94,12 +106,27 @@ class StaticCodec:
     def encode(self, fragment: StaticFragment) -> bytes:
         writer = BitWriter()
         if isinstance(fragment, StaticIntro):
+            if not 0 <= fragment.packet_id <= MAX_PACKET_ID:
+                raise ValueError(f"packet_id {fragment.packet_id} out of range")
+            if not 0 <= fragment.total_length <= MAX_TOTAL_LENGTH:
+                raise ValueError(
+                    f"total_length {fragment.total_length} out of range"
+                )
             writer.write(KIND_INTRO, _KIND_BITS)
             writer.write(fragment.source, self.addr_bits)
             writer.write(fragment.packet_id, _PKT_BITS)
             writer.write(fragment.total_length, _LENGTH_BITS)
             writer.write(fragment.checksum & 0xFFFF, _CHECKSUM_BITS)
         elif isinstance(fragment, StaticData):
+            if not 0 <= fragment.packet_id <= MAX_PACKET_ID:
+                raise ValueError(f"packet_id {fragment.packet_id} out of range")
+            if not 0 <= fragment.offset <= MAX_OFFSET:
+                raise ValueError(f"offset {fragment.offset} out of range")
+            if len(fragment.payload) > MAX_FRAGMENT_PAYLOAD:
+                raise ValueError(
+                    f"payload of {len(fragment.payload)} bytes exceeds "
+                    f"the {MAX_FRAGMENT_PAYLOAD}-byte fragment limit"
+                )
             writer.write(KIND_DATA, _KIND_BITS)
             writer.write(fragment.source, self.addr_bits)
             writer.write(fragment.packet_id, _PKT_BITS)

@@ -57,6 +57,7 @@ from . import exec_rules as exec_rules
 from . import purity as purity
 from . import obs_rules as obs_rules
 from . import flow_rules as flow_rules
+from . import range_rules as range_rules
 
 __all__ = [
     "Baseline",

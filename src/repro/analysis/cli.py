@@ -13,7 +13,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from .core import (
     Baseline,
@@ -27,6 +27,9 @@ from .core import (
     registry,
 )
 from .sarif import write_sarif
+
+if TYPE_CHECKING:
+    from .ranges import LedgerEntry
 
 __all__ = ["main"]
 
@@ -59,6 +62,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "additionally run the project-wide dataflow rules "
             "(SEED/EXEC/PURE packs) over all files as one unit"
+        ),
+    )
+    parser.add_argument(
+        "--ranges",
+        action="store_true",
+        help=(
+            "build the interval-engine proof ledger for every bit-packed "
+            "wire field (implies --project; the WIRE004/RANGE* rules "
+            "themselves always run in project mode)"
+        ),
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help=(
+            "print the per-field proof ledger table after the findings "
+            "(implies --ranges)"
         ),
     )
     parser.add_argument(
@@ -171,6 +191,10 @@ def _select_rules(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.report:
+        args.ranges = True
+    if args.ranges:
+        args.project = True
 
     if args.list_rules:
         from .sanitizer.rules import SANITIZER_RULES
@@ -218,6 +242,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     linter = Linter(rules=rules, baseline=None, project_rules=project_rules)
     report = linter.lint_paths(paths, project=args.project)
 
+    # The proof ledger rides along as informational output only: it is
+    # built from the same parsed project the rules just saw, and never
+    # changes the exit code (overflows surface as WIRE004 findings).
+    ledger: Optional[List[LedgerEntry]] = None
+    if args.ranges and linter.last_project is not None:
+        from .ranges import build_proof_ledger
+
+        ledger = build_proof_ledger(linter.last_project)
+
     if args.sanitize:
         from .sanitizer.detectors import run_suite
 
@@ -240,7 +273,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sarif_rules: List[Union[Rule, ProjectRule]] = [*rules, *project_rules]
         if args.sanitize:
             sarif_rules.extend(sanitizer_rules)
-        write_sarif(Path(args.sarif), report, sarif_rules)
+        sarif_properties = None
+        if ledger is not None:
+            from .ranges import ledger_properties
+
+            sarif_properties = ledger_properties(ledger)
+        write_sarif(
+            Path(args.sarif), report, sarif_rules, properties=sarif_properties
+        )
 
     if args.write_baseline:
         Baseline.from_findings(report.findings).dump(baseline_path)
@@ -251,7 +291,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.format == "json":
-        payload = {
+        payload: Dict[str, object] = {
             "files_checked": report.files_checked,
             "findings": [finding.to_json() for finding in report.findings],
             "errors": [
@@ -259,10 +299,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 for path, message in report.errors
             ],
         }
+        if ledger is not None:
+            payload["ledger"] = [entry.to_json() for entry in ledger]
         print(json.dumps(payload, indent=2))
     else:
         for finding in report.findings:
             print(finding.render())
+        if args.report and ledger is not None:
+            from .ranges import render_proof_ledger
+
+            print(render_proof_ledger(ledger))
         for path, message in report.errors:
             print(f"{path}: parse error: {message}", file=sys.stderr)
         summary = (

@@ -21,9 +21,9 @@ def fold_int(node: ast.AST, env: Mapping[str, int]) -> Optional[int]:
     """Evaluate ``node`` to an ``int`` if it is a constant expression.
 
     Supports integer literals, names bound in ``env``, unary ``+ - ~``,
-    and the binary operators ``+ - * // % << >> | & ^ **``.  Returns
-    ``None`` (never raises) when the expression is not statically an
-    integer.
+    the binary operators ``+ - * // % << >> | & ^ **``, and ``min`` /
+    ``max`` over two or more foldable arguments.  Returns ``None``
+    (never raises) when the expression is not statically an integer.
     """
     if isinstance(node, ast.Constant):
         if isinstance(node.value, bool) or not isinstance(node.value, int):
@@ -78,6 +78,24 @@ def fold_int(node: ast.AST, env: Mapping[str, int]) -> Optional[int]:
                 return int(left**right)
         except (ZeroDivisionError, OverflowError, ValueError):
             return None
+    if isinstance(node, ast.Call):
+        # ``min``/``max`` over explicit arguments; the interval engine
+        # (:mod:`.ranges`) must agree with this folding on point inputs,
+        # which a test pins.  Single-argument forms take an iterable and
+        # are not foldable; keywords (``key=``/``default=``) change the
+        # semantics, so their presence disables folding.
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("min", "max")
+            and len(node.args) >= 2
+            and not node.keywords
+            and not any(isinstance(arg, ast.Starred) for arg in node.args)
+        ):
+            folded = [fold_int(arg, env) for arg in node.args]
+            values = [value for value in folded if value is not None]
+            if len(values) == len(folded):
+                return min(values) if func.id == "min" else max(values)
     return None
 
 

@@ -354,6 +354,10 @@ class Linter:
         self.project_rules: List[ProjectRule] = (
             list(project_rules) if project_rules is not None else all_project_rules()
         )
+        #: The :class:`ProjectContext` built by the most recent
+        #: project-mode run; lets callers (the CLI's proof ledger)
+        #: reuse the parsed tree instead of re-reading every file.
+        self.last_project: Optional[ProjectContext] = None
 
     # ------------------------------------------------------------------
     def lint_paths(self, paths: Sequence[Path], project: bool = False) -> LintReport:
@@ -376,6 +380,7 @@ class Linter:
         from .symbols import build_project
 
         project_ctx = build_project(contexts)
+        self.last_project = project_ctx
         by_path: Dict[str, ModuleContext] = {
             ctx.display_path: ctx for ctx in contexts
         }

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from .core import LintReport, ProjectRule, Rule
 
@@ -36,8 +36,18 @@ RuleLike = Union[Rule, ProjectRule]
 _HELP_DOC = "docs/static-analysis.md"
 
 
-def to_sarif(report: LintReport, rules: Sequence[RuleLike]) -> Dict[str, Any]:
-    """The SARIF document for ``report`` as a JSON-ready dict."""
+def to_sarif(
+    report: LintReport,
+    rules: Sequence[RuleLike],
+    properties: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The SARIF document for ``report`` as a JSON-ready dict.
+
+    ``properties``, when given, becomes the run's ``properties`` bag —
+    informational payloads like the value-range proof ledger ride along
+    without becoming results (they never affect exit codes or
+    code-scanning alerts).
+    """
     rule_descriptors: List[Dict[str, Any]] = []
     rule_index: Dict[str, int] = {}
     level_by_id: Dict[str, str] = {}
@@ -86,33 +96,37 @@ def to_sarif(report: LintReport, rules: Sequence[RuleLike]) -> Dict[str, Any]:
         for path, message in report.errors
     ]
 
+    run: Dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": "repro.lint",
+                "informationUri": _HELP_DOC,
+                "rules": rule_descriptors,
+            }
+        },
+        "results": results,
+        "invocations": [
+            {
+                "executionSuccessful": not report.errors,
+                "toolExecutionNotifications": notifications,
+            }
+        ],
+    }
+    if properties:
+        run["properties"] = properties
     return {
         "$schema": _SCHEMA,
         "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": "repro.lint",
-                        "informationUri": _HELP_DOC,
-                        "rules": rule_descriptors,
-                    }
-                },
-                "results": results,
-                "invocations": [
-                    {
-                        "executionSuccessful": not report.errors,
-                        "toolExecutionNotifications": notifications,
-                    }
-                ],
-            }
-        ],
+        "runs": [run],
     }
 
 
 def write_sarif(
-    path: Path, report: LintReport, rules: Sequence[RuleLike]
+    path: Path,
+    report: LintReport,
+    rules: Sequence[RuleLike],
+    properties: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Write the SARIF document for ``report`` to ``path``."""
-    document = to_sarif(report, rules)
+    document = to_sarif(report, rules, properties=properties)
     path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")

@@ -15,14 +15,19 @@ WIRE001   the statically-known range of ``value`` (a constant, a
 WIRE002   the width argument is a magic integer literal instead of a
           named ``*_BITS`` constant (or a symbolic width such as
           ``self.id_bits``)
-WIRE003   the constant-foldable bits written by one function exceed
+WIRE003   the statically-known bits written by one function exceed
           the 27-byte RPC frame budget
 ========  ==========================================================
 
-Widths that do not fold (e.g. ``self.id_bits``) contribute nothing to
-WIRE003's total — the rule under-approximates, so it never false
-positives, and the codec's own ``[0, 62]`` bound keeps the symbolic
-part honest.
+WIRE003 resolves widths through the constant folder first and — by
+default — retries unresolved ones through the interval engine
+(:mod:`.ranges`), so a width that merely flowed through a local
+variable still counts.  Widths that stay symbolic after both
+(e.g. ``self.id_bits``) contribute nothing to the total — the rule
+under-approximates, so it never false positives, and the codec's own
+``[0, 62]`` bound keeps the symbolic part honest.  The project-wide
+WIRE004 (:mod:`.range_rules`) extends the same interval reasoning to
+field *values*.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from .constfold import fold_int
 from .core import Finding, ModuleContext, Rule, register
+from .ranges import FunctionAnalysis, analyze_function
 
 __all__ = [
     "FieldOverflowRule",
@@ -189,6 +195,15 @@ class FrameBudgetRule(Rule):
     )
     help_anchor = "pack-2--wire-format-invariants-wire"
 
+    #: When set (the default), widths the constant folder cannot resolve
+    #: are retried through the interval engine (:mod:`.ranges`): a width
+    #: that flowed through a local variable or a branch still counts
+    #: toward the total when its interval is a single point.  Constfold
+    #: is the point-interval special case, so every width it resolves
+    #: the engine resolves identically — an equivalence test pins that
+    #: findings on constfold-provable code match with the flag off.
+    use_intervals: bool = True
+
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         env = ctx.constants
         for scope in _functions(ctx.tree):
@@ -197,12 +212,21 @@ class FrameBudgetRule(Rule):
             writers = _bitwriter_names(scope)
             if not writers:
                 continue
+            analysis: Optional[FunctionAnalysis] = None
+            if self.use_intervals:
+                analysis = analyze_function(scope, env)
             total = 0
             calls: List[ast.Call] = []
             for call, method in _write_calls(scope, writers):
                 calls.append(call)
                 if method == "write" and len(call.args) == 2:
                     width = fold_int(call.args[1], env)
+                    if (
+                        width is None
+                        and analysis is not None
+                        and analysis.env_at(call.args[1]) is not None
+                    ):
+                        width = analysis.interval_at(call.args[1]).point_value
                     if width is not None and width > 0:
                         total += width
                 elif method == "write_bytes" and len(call.args) == 1:

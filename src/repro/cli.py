@@ -372,6 +372,18 @@ def _cmd_bench_trend(args: argparse.Namespace) -> int:
     return 1 if report.regressions else 0
 
 
+def _cmd_lint_argv(lint_args: Sequence[str]) -> int:
+    # Deferred import: the analysis package registers every rule pack on
+    # import, which `repro figure` never needs.
+    from .analysis.cli import main as lint_main
+
+    return lint_main(lint_args)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return _cmd_lint_argv(args.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -517,6 +529,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     _configure_flow(flow)
 
+    lint = sub.add_parser(
+        "lint",
+        add_help=False,
+        help=(
+            "static analysis over the tree (alias for python -m "
+            "repro.lint; try `repro lint --ranges --report`)"
+        ),
+    )
+    # REMAINDER hands every following token — including --flags and -h —
+    # straight to the lint CLI's own parser, so the two entry points
+    # cannot drift apart.
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    lint.set_defaults(func=_cmd_lint)
+
     sanitize = sub.add_parser(
         "sanitize",
         help=(
@@ -535,8 +561,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    # ``lint`` is routed before argparse: REMAINDER cannot capture
+    # leading ``--flags`` (they would be rejected as unrecognized), and
+    # the lint CLI owns its entire flag surface including -h.
+    if arguments and arguments[0] == "lint":
+        return _cmd_lint_argv(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     return args.func(args)
 
 

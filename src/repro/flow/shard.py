@@ -145,7 +145,10 @@ def partition_plan(
         for spec in plan
     ]
     if strategy == "even":
-        bounds = [i * n // count for i in range(count + 1)]
+        # ``i == count`` would give exactly ``n``; writing the final
+        # bound as ``n`` itself keeps the identity and lets the
+        # RANGE001 interval proof see the plan-covering invariant.
+        bounds = [i * n // count for i in range(count)] + [n]
     else:
         total = sum(costs)
         bounds = [0]

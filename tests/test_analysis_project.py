@@ -584,6 +584,25 @@ class TestShippedTree:
             finding.render() for finding in report.findings
         )
 
+    def test_src_tree_passes_ranges_gate(self, capsys):
+        """The --ranges CLI over src/ stays clean and proves the ledger.
+
+        Exercises the full interval pipeline (WIRE004 / RANGE001 /
+        RANGE002 plus the proof ledger) exactly as CI invokes it: the
+        shipped wire codecs must prove every fixed-width field and the
+        shard partitioner must prove its plan-covering invariant.
+        """
+        from repro.analysis.cli import main as lint_main
+
+        code = lint_main(
+            [str(SRC_ROOT / "repro"), "--no-baseline", "--ranges", "--report"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "wire-field write(s)" in out
+        assert "overflow" not in out
+        assert " open" not in out  # every fixed-width field is proven
+
     def test_every_project_pack_registered(self):
         ids = {rule.rule_id for rule in all_project_rules()}
         assert {
@@ -593,4 +612,7 @@ class TestShippedTree:
             "EXEC002",
             "EXEC003",
             "PURE001",
+            "WIRE004",
+            "RANGE001",
+            "RANGE002",
         } <= ids

@@ -1,0 +1,1006 @@
+"""Tests for rule pack 9 — the interval abstract interpreter.
+
+Covers the abstract domain itself (lattice operations, arithmetic
+transfer functions, branch refinement, loop widening), the
+interprocedural summary engine, the three project rules built on it
+(WIRE004 / RANGE001 / RANGE002), the per-field proof ledger, and the
+CLI / SARIF plumbing that exports it.  Per the pack's contract every
+rule under-approximates: fixtures that fire carry *proven* hazards,
+and clean fixtures route values through the clamp / guard / derive
+idioms the interpreter is expected to resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import Linter, all_project_rules
+from repro.analysis.cli import main as lint_main
+from repro.analysis.constfold import fold_int
+from repro.analysis.core import ModuleContext
+from repro.analysis.ranges import (
+    TOP,
+    Interval,
+    analyze_function,
+    build_proof_ledger,
+    engine_for,
+    ledger_properties,
+    render_proof_ledger,
+)
+from repro.analysis.symbols import build_project
+from repro.analysis.wire_rules import FrameBudgetRule
+
+SRC_ROOT = Path(repro.__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def write_tree(tmp_path: Path, sources):
+    for relpath, source in sources.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def lint_project(tmp_path: Path, sources):
+    write_tree(tmp_path, sources)
+    report = Linter().lint_paths([tmp_path], project=True)
+    assert not report.errors, report.errors
+    return report.findings
+
+
+def project_for(tmp_path: Path, sources):
+    write_tree(tmp_path, sources)
+    contexts = []
+    for relpath in sources:
+        target = tmp_path / relpath
+        source = target.read_text(encoding="utf-8")
+        contexts.append(
+            ModuleContext(
+                path=target,
+                source=source,
+                tree=ast.parse(source),
+                display_path=relpath,
+            )
+        )
+    return build_project(contexts)
+
+
+def only(findings, rule_id):
+    return [finding for finding in findings if finding.rule_id == rule_id]
+
+
+def analyze(source, constants=None):
+    tree = ast.parse(textwrap.dedent(source))
+    node = next(n for n in tree.body if isinstance(n, ast.FunctionDef))
+    return analyze_function(node, constants or {})
+
+
+def function_info(project, qualname):
+    for info in project.functions():
+        if info.qualname == qualname:
+            return info
+    raise AssertionError(f"no function {qualname!r} in project")
+
+
+# ----------------------------------------------------------------------
+# The abstract domain
+# ----------------------------------------------------------------------
+class TestInterval:
+    def test_join_is_hull(self):
+        assert Interval(0, 3).join(Interval(5, 9)) == Interval(0, 9)
+        assert Interval(None, 3).join(Interval(5, 9)) == Interval(None, 9)
+        assert Interval(0, 3).join(TOP) == TOP
+
+    def test_meet_intersects_and_detects_bottom(self):
+        assert Interval(0, 10).meet(Interval(5, 20)) == Interval(5, 10)
+        assert Interval(0, 10).meet(TOP) == Interval(0, 10)
+        assert Interval(0, 3).meet(Interval(5, 9)) is None
+
+    def test_widen_drops_unstable_bounds(self):
+        assert Interval(0, 3).widen(Interval(0, 5)) == Interval(0, None)
+        assert Interval(0, 3).widen(Interval(-1, 3)) == Interval(None, 3)
+        assert Interval(0, 3).widen(Interval(0, 3)) == Interval(0, 3)
+
+    def test_contains_and_point(self):
+        assert Interval(0, 3).contains(Interval(1, 2))
+        assert not Interval(0, 3).contains(Interval(1, 4))
+        assert TOP.contains(Interval(0, 3))
+        assert Interval.point(7).point_value == 7
+        assert Interval(0, 1).point_value is None
+        assert TOP.is_top and not Interval(0, 1).is_top
+
+
+# ----------------------------------------------------------------------
+# The intra-procedural evaluator
+# ----------------------------------------------------------------------
+#: Expressions whose single point the evaluator (and the constant
+#: folder — they must agree on the point-interval case) resolves.
+POINT_EXPRESSIONS = [
+    "-7 // 3",
+    "-7 % 3",
+    "7 % -3",
+    "(-5) * 3",
+    "-2 * -3",
+    "1 << 6",
+    "-8 >> 1",
+    "256 >> 3",
+    "min(4, -2, 9)",
+    "max(1, 5, 3)",
+    "abs(-4)",
+    "0x3F & 0x0F",
+    "5 | 9",
+    "5 ^ 9",
+    "~5",
+    "2 ** 10",
+    "min(3, 5) + max(2, 7) - 1",
+]
+
+
+class TestEvaluator:
+    @pytest.mark.parametrize("expr", POINT_EXPRESSIONS)
+    def test_point_results_match_python(self, expr):
+        analysis = analyze(f"def f():\n    return {expr}\n")
+        assert analysis.result().point_value == eval(expr)  # noqa: S307
+
+    @pytest.mark.parametrize(
+        "expr", [e for e in POINT_EXPRESSIONS if not e.startswith("abs")]
+    )
+    def test_constfold_is_the_point_interval_case(self, expr):
+        """Everything the folder proves, the interval engine proves too.
+
+        ``abs`` is excluded: it is outside the folder's domain (which
+        only folds ``min``/``max`` calls) but inside the engine's.
+        """
+        node = ast.parse(expr, mode="eval").body
+        folded = fold_int(node, {})
+        analysis = analyze(f"def f():\n    return {expr}\n")
+        assert folded == eval(expr)  # noqa: S307
+        assert analysis.result().point_value == folded
+
+    def test_module_constants_seed_the_environment(self):
+        analysis = analyze(
+            "def f():\n    return MAX + 1\n", constants={"MAX": 255}
+        )
+        assert analysis.result() == Interval.point(256)
+
+    def test_guard_raise_idiom_refines_parameter(self):
+        analysis = analyze(
+            """
+            def f(x):
+                if not 0 <= x <= 255:
+                    raise ValueError(x)
+                return x
+            """
+        )
+        assert analysis.result() == Interval(0, 255)
+
+    def test_clamp_idiom(self):
+        analysis = analyze("def f(x):\n    return min(max(x, 0), 255)\n")
+        assert analysis.result() == Interval(0, 255)
+
+    def test_len_refinement_keeps_non_negativity(self):
+        analysis = analyze(
+            """
+            def f(payload):
+                if len(payload) > 255:
+                    raise ValueError(payload)
+                return len(payload)
+            """
+        )
+        assert analysis.result() == Interval(0, 255)
+
+    def test_modulo_by_positive_constant(self):
+        analysis = analyze("def f(x):\n    return x % 8\n")
+        assert analysis.result() == Interval(0, 7)
+
+    def test_mask_bounds_unknown_value(self):
+        analysis = analyze("def f(x):\n    return x & 0xFFFF\n")
+        assert analysis.result() == Interval(0, 0xFFFF)
+
+    def test_bounded_while_loop_converges_exactly(self):
+        analysis = analyze(
+            """
+            def f():
+                i = 0
+                while i < 10:
+                    i = i + 1
+                return i
+            """
+        )
+        assert analysis.result() == Interval.point(10)
+
+    def test_unbounded_loop_widens_but_keeps_stable_bound(self):
+        analysis = analyze(
+            """
+            def f(n):
+                i = 0
+                while i < n:
+                    i = i + 1
+                return i
+            """
+        )
+        result = analysis.result()
+        assert result.lo == 0  # the stable lower bound survives widening
+
+    def test_for_range_accumulation_respects_clamp(self):
+        analysis = analyze(
+            """
+            def f():
+                x = 0
+                for i in range(8):
+                    x = min(x + i, 100)
+                return x
+            """
+        )
+        result = analysis.result()
+        assert result.lo == 0
+        assert result.hi is not None and result.hi <= 100
+
+    def test_branch_join(self):
+        analysis = analyze(
+            """
+            def f(flag):
+                if flag:
+                    x = 3
+                else:
+                    x = 9
+                return x
+            """
+        )
+        assert analysis.result() == Interval(3, 9)
+
+    def test_unknown_call_is_top(self):
+        analysis = analyze("def f(x):\n    return mystery(x)\n")
+        assert analysis.result().is_top
+
+
+# ----------------------------------------------------------------------
+# Interprocedural summaries
+# ----------------------------------------------------------------------
+class TestSummaries:
+    def test_callee_summary_flows_into_caller(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "mod.py": (
+                    "def width():\n"
+                    "    return 8\n"
+                    "\n"
+                    "def doubled():\n"
+                    "    return width() * 2\n"
+                )
+            },
+        )
+        engine = engine_for(project)
+        info = function_info(project, "doubled")
+        assert engine.analysis_for(info).result() == Interval.point(16)
+
+    def test_cross_module_summary(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/widths.py": "def bits():\n    return 16\n",
+                "pkg/use.py": (
+                    "from pkg.widths import bits\n"
+                    "\n"
+                    "def field_max():\n"
+                    "    return (1 << bits()) - 1\n"
+                ),
+            },
+        )
+        engine = engine_for(project)
+        info = function_info(project, "field_max")
+        assert engine.analysis_for(info).result() == Interval.point(65535)
+
+    def test_recursion_degrades_to_top_without_crashing(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "mod.py": (
+                    "def even(n):\n"
+                    "    return odd(n - 1)\n"
+                    "\n"
+                    "def odd(n):\n"
+                    "    return even(n - 1)\n"
+                )
+            },
+        )
+        engine = engine_for(project)
+        info = function_info(project, "even")
+        assert engine.analysis_for(info).result().is_top
+
+
+# ----------------------------------------------------------------------
+# WIRE004: proven value range exceeds the declared field width
+# ----------------------------------------------------------------------
+WIRE_PRELUDE = """\
+_LEN_BITS = 8
+
+class BitWriter:
+    def write(self, value, width):
+        pass
+"""
+
+
+class TestProvenFieldOverflow:
+    def test_fires_exactly_once_on_proven_overflow(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "mod.py": WIRE_PRELUDE
+                + (
+                    "def encode():\n"
+                    "    writer = BitWriter()\n"
+                    "    frame = 300\n"
+                    "    writer.write(frame, _LEN_BITS)\n"
+                )
+            },
+        )
+        overflows = only(findings, "WIRE004")
+        assert len(overflows) == 1
+        assert "[300, 300]" in overflows[0].message
+        assert "8-bit" in overflows[0].message
+        # WIRE001 must not double-report: the value is outside its
+        # literal domain (a plain local name).
+        assert only(findings, "WIRE001") == []
+
+    def test_fires_on_proven_negative_value(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "mod.py": WIRE_PRELUDE
+                + (
+                    "def encode(x):\n"
+                    "    writer = BitWriter()\n"
+                    "    frame = min(max(x, -5), -1)\n"
+                    "    writer.write(frame, _LEN_BITS)\n"
+                )
+            },
+        )
+        overflows = only(findings, "WIRE004")
+        assert len(overflows) == 1
+        assert "negative" in overflows[0].message
+
+    def test_suppression_comment(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "mod.py": WIRE_PRELUDE
+                + (
+                    "def encode():\n"
+                    "    writer = BitWriter()\n"
+                    "    frame = 300\n"
+                    "    writer.write(frame, _LEN_BITS)"
+                    "  # lint: ignore[WIRE004]\n"
+                )
+            },
+        )
+        assert only(findings, "WIRE004") == []
+
+    def test_clamp_idiom_is_clean(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "mod.py": WIRE_PRELUDE
+                + (
+                    "def encode(value):\n"
+                    "    writer = BitWriter()\n"
+                    "    writer.write(min(max(value, 0), 255), _LEN_BITS)\n"
+                )
+            },
+        )
+        assert only(findings, "WIRE004") == []
+
+    def test_guard_raise_idiom_is_clean(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "mod.py": WIRE_PRELUDE
+                + (
+                    "def encode(value):\n"
+                    "    if not 0 <= value <= 255:\n"
+                    "        raise ValueError(value)\n"
+                    "    writer = BitWriter()\n"
+                    "    writer.write(value, _LEN_BITS)\n"
+                )
+            },
+        )
+        assert only(findings, "WIRE004") == []
+
+    def test_derived_width_through_local_is_checked(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "mod.py": WIRE_PRELUDE
+                + (
+                    "def encode():\n"
+                    "    writer = BitWriter()\n"
+                    "    width = _LEN_BITS - 4\n"
+                    "    writer.write(20, width)\n"
+                )
+            },
+        )
+        overflows = only(findings, "WIRE004")
+        assert len(overflows) == 1
+        assert "4-bit" in overflows[0].message
+
+    def test_fingerprint_stable_and_mirrored_in_sarif(self, tmp_path):
+        source = WIRE_PRELUDE + (
+            "def encode():\n"
+            "    writer = BitWriter()\n"
+            "    frame = 300\n"
+            "    writer.write(frame, _LEN_BITS)\n"
+        )
+        (tmp_path / "mod.py").write_text(source, encoding="utf-8")
+        first = Linter().lint_paths([tmp_path], project=True)
+        second = Linter().lint_paths([tmp_path], project=True)
+        fp_first = only(first.findings, "WIRE004")[0].fingerprint()
+        fp_second = only(second.findings, "WIRE004")[0].fingerprint()
+        assert fp_first == fp_second
+
+        sarif_path = tmp_path / "out.sarif"
+        assert (
+            lint_main(
+                [
+                    str(tmp_path / "mod.py"),
+                    "--no-baseline",
+                    "--ranges",
+                    "--sarif",
+                    str(sarif_path),
+                ]
+            )
+            == 1
+        )
+        document = json.loads(sarif_path.read_text(encoding="utf-8"))
+        results = [
+            result
+            for result in document["runs"][0]["results"]
+            if result["ruleId"] == "WIRE004"
+        ]
+        assert len(results) == 1
+        assert results[0]["partialFingerprints"]["reproLint/v1"] == fp_first
+
+
+# ----------------------------------------------------------------------
+# RANGE001: partition invariants
+# ----------------------------------------------------------------------
+PARTITION_TEMPLATE = """\
+class WindowRange:
+    def __init__(self, lo, hi, cost=0):
+        self.lo = lo
+        self.hi = hi
+
+def partition(plan, shards):
+    if shards < 1:
+        raise ValueError(shards)
+    n = len(plan)
+    if n == 0:
+        return []
+    count = min(shards, n)
+    bounds = {bounds}
+    return [WindowRange(lo=lo, hi=hi) for lo, hi in zip(bounds[:-1], bounds[1:])]
+"""
+
+
+class TestPartitionInvariants:
+    def test_even_split_is_proven(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "mod.py": PARTITION_TEMPLATE.format(
+                    bounds="[i * n // count for i in range(count)] + [n]"
+                )
+            },
+        )
+        assert only(findings, "RANGE001") == []
+
+    def test_dropped_final_window_fires(self, tmp_path):
+        # The mutated partitioner ends the bounds list one short of
+        # len(plan): the last plan window is silently dropped.
+        findings = lint_project(
+            tmp_path,
+            {
+                "mod.py": PARTITION_TEMPLATE.format(
+                    bounds="[i * n // count for i in range(count)] + [n - 1]"
+                )
+            },
+        )
+        fired = only(findings, "RANGE001")
+        assert len(fired) == 1
+        assert "end at len(plan)" in fired[0].message
+
+    def test_non_monotone_interior_fires(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "mod.py": PARTITION_TEMPLATE.format(
+                    bounds="[(count - i) * n // count for i in range(count)] + [n]"
+                )
+            },
+        )
+        fired = only(findings, "RANGE001")
+        assert len(fired) == 1
+
+    def test_cost_style_append_loop_is_proven(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class WindowRange:\n"
+                    "    def __init__(self, lo, hi, cost=0):\n"
+                    "        self.lo = lo\n"
+                    "        self.hi = hi\n"
+                    "\n"
+                    "def partition(plan, limit):\n"
+                    "    n = len(plan)\n"
+                    "    if n == 0:\n"
+                    "        return []\n"
+                    "    bounds = [0]\n"
+                    "    for i, cost in enumerate(plan):\n"
+                    "        if cost > limit:\n"
+                    "            bounds.append(i + 1)\n"
+                    "    bounds.append(n)\n"
+                    "    return [WindowRange(lo=lo, hi=hi)\n"
+                    "            for lo, hi in zip(bounds[:-1], bounds[1:])]\n"
+                )
+            },
+        )
+        assert only(findings, "RANGE001") == []
+
+    def test_uncounted_append_loop_fires(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class WindowRange:\n"
+                    "    def __init__(self, lo, hi, cost=0):\n"
+                    "        self.lo = lo\n"
+                    "        self.hi = hi\n"
+                    "\n"
+                    "def partition(plan, cuts):\n"
+                    "    n = len(plan)\n"
+                    "    if n == 0:\n"
+                    "        return []\n"
+                    "    bounds = [0]\n"
+                    "    for cut in cuts:\n"
+                    "        bounds.append(cut + 1)\n"
+                    "    bounds.append(n)\n"
+                    "    return [WindowRange(lo=lo, hi=hi)\n"
+                    "            for lo, hi in zip(bounds[:-1], bounds[1:])]\n"
+                )
+            },
+        )
+        fired = only(findings, "RANGE001")
+        assert len(fired) == 1
+        assert "counted" in fired[0].message
+
+    def test_suppression_comment(self, tmp_path):
+        source = PARTITION_TEMPLATE.format(
+            bounds="[i * n // count for i in range(count)] + [n - 1]"
+        ).replace(
+            "    return [WindowRange",
+            "    return [WindowRange",  # keep template shape explicit
+        )
+        source = source.replace(
+            "bounds[1:])]", "bounds[1:])]  # lint: ignore[RANGE001]"
+        )
+        findings = lint_project(tmp_path, {"mod.py": source})
+        assert only(findings, "RANGE001") == []
+
+
+# ----------------------------------------------------------------------
+# RANGE002: draw / estimator arithmetic hazards
+# ----------------------------------------------------------------------
+class TestDrawHazards:
+    def test_zero_divisor_fires(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "core/draw.py": (
+                    "def f(x):\n"
+                    "    d = min(max(x, -1), 1)\n"
+                    "    return 10 // d\n"
+                )
+            },
+        )
+        fired = only(findings, "RANGE002")
+        assert len(fired) == 1
+        assert "contains 0" in fired[0].message
+
+    def test_modulo_bias_fires(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "core/draw.py": (
+                    "def g(rng):\n"
+                    "    return rng.getrandbits(8) % 10\n"
+                )
+            },
+        )
+        fired = only(findings, "RANGE002")
+        assert len(fired) == 1
+        assert "biased" in fired[0].message
+
+    def test_possibly_empty_randrange_fires(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "flow/draw.py": (
+                    "def h(rng, x):\n"
+                    "    k = min(max(x, 0), 5)\n"
+                    "    return rng.randrange(k)\n"
+                )
+            },
+        )
+        fired = only(findings, "RANGE002")
+        assert len(fired) == 1
+        assert "empty" in fired[0].message
+
+    def test_negative_shift_fires(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "core/draw.py": (
+                    "def s(x):\n"
+                    "    k = min(x, -1)\n"
+                    "    return 1 << k\n"
+                )
+            },
+        )
+        fired = only(findings, "RANGE002")
+        assert len(fired) == 1
+        assert "negative" in fired[0].message
+
+    def test_clean_idioms(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "core/draw.py": (
+                    "def ok(rng, x, k):\n"
+                    "    a = x % 7\n"
+                    "    b = rng.getrandbits(4) % 16\n"
+                    "    c = rng.randrange(max(k, 1))\n"
+                    "    d = 1 << max(x, 0)\n"
+                    "    return a + b + c + d\n"
+                )
+            },
+        )
+        assert only(findings, "RANGE002") == []
+
+    def test_out_of_scope_packages_are_silent(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "apps/draw.py": (
+                    "def f(x):\n"
+                    "    d = min(max(x, -1), 1)\n"
+                    "    return 10 // d\n"
+                )
+            },
+        )
+        assert only(findings, "RANGE002") == []
+
+    def test_suppression_comment(self, tmp_path):
+        findings = lint_project(
+            tmp_path,
+            {
+                "core/draw.py": (
+                    "def f(x):\n"
+                    "    d = min(max(x, -1), 1)\n"
+                    "    return 10 // d  # lint: ignore[RANGE002]\n"
+                )
+            },
+        )
+        assert only(findings, "RANGE002") == []
+
+
+# ----------------------------------------------------------------------
+# WIRE003: constfold/interval equivalence (satellite upgrade)
+# ----------------------------------------------------------------------
+def budget_findings(tmp_path, name, source, use_intervals):
+    rule = FrameBudgetRule()
+    rule.use_intervals = use_intervals
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    report = Linter(rules=[rule], project_rules=[]).lint_paths([target])
+    assert not report.errors, report.errors
+    return report.findings
+
+
+FOLDABLE_OVERFLOW = """\
+_A_BITS = 200
+_B_BITS = 100
+
+class BitWriter:
+    def write(self, value, width):
+        pass
+
+def encode():
+    writer = BitWriter()
+    writer.write(1, _A_BITS)
+    writer.write(1, _B_BITS)
+"""
+
+FOLDABLE_CLEAN = """\
+_A_BITS = 100
+
+class BitWriter:
+    def write(self, value, width):
+        pass
+
+def encode():
+    writer = BitWriter()
+    writer.write(1, _A_BITS)
+"""
+
+INTERVAL_ONLY_OVERFLOW = """\
+class BitWriter:
+    def write(self, value, width):
+        pass
+
+def encode():
+    writer = BitWriter()
+    width = 109
+    writer.write(1, width)
+    writer.write(1, width)
+"""
+
+
+class TestFrameBudgetEquivalence:
+    @pytest.mark.parametrize(
+        "source", [FOLDABLE_OVERFLOW, FOLDABLE_CLEAN],
+        ids=["overflow", "clean"],
+    )
+    def test_constfold_provable_cases_identical(self, tmp_path, source):
+        """On constfold-provable code the interval upgrade changes nothing."""
+        before = budget_findings(tmp_path, "before.py", source, False)
+        after = budget_findings(tmp_path, "after.py", source, True)
+        assert [(f.line, f.message) for f in before] == [
+            (f.line, f.message) for f in after
+        ]
+
+    def test_interval_engine_resolves_what_constfold_cannot(self, tmp_path):
+        before = budget_findings(
+            tmp_path, "before.py", INTERVAL_ONLY_OVERFLOW, False
+        )
+        after = budget_findings(
+            tmp_path, "after.py", INTERVAL_ONLY_OVERFLOW, True
+        )
+        assert before == []
+        assert len(after) == 1
+        assert "218 bits" in after[0].message
+
+
+# ----------------------------------------------------------------------
+# Constant-folder edge cases (shared foundation of WIRE001-003)
+# ----------------------------------------------------------------------
+class TestConstfoldEdges:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "-7 // 3",
+            "7 // -3",
+            "-7 % 3",
+            "7 % -3",
+            "-6 % -4",
+            "1 << 12",
+            "-1 << 4",
+            "-64 >> 2",
+            "min(4, -2, 9)",
+            "max(-4, -2, -9)",
+            "min(1, 2) * max(3, 4)",
+        ],
+    )
+    def test_folds_match_python_semantics(self, expr):
+        node = ast.parse(expr, mode="eval").body
+        assert fold_int(node, {}) == eval(expr)  # noqa: S307
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "7 // 0",       # division by zero never folds
+            "7 % 0",
+            "1 << 100000",  # absurd shifts refused
+            "min(3)",       # single-arg min/max left alone
+            "min(x, 3)",    # free variables
+            "min(3, 4, key=abs)",  # keywords defeat folding
+        ],
+    )
+    def test_refuses_unfoldable(self, expr):
+        node = ast.parse(expr, mode="eval").body
+        assert fold_int(node, {}) is None
+
+
+# ----------------------------------------------------------------------
+# The proof ledger
+# ----------------------------------------------------------------------
+class TestProofLedger:
+    def test_covers_every_aff_wire_field(self):
+        linter = Linter()
+        linter.lint_paths([SRC_ROOT / "repro" / "aff"], project=True)
+        assert linter.last_project is not None
+        ledger = build_proof_ledger(linter.last_project)
+        width_names = {entry.width_expr for entry in ledger}
+        assert {
+            "_KIND_BITS",
+            "_PKT_BITS",
+            "_LENGTH_BITS",
+            "_CHECKSUM_BITS",
+            "_OFFSET_BITS",
+            "_FRAGLEN_BITS",
+        } <= width_names
+        # The shipped codecs are fully proven: every fixed-width field
+        # fits, and only codec-parameter widths stay symbolic.
+        assert all(
+            entry.status in ("proved", "symbolic-width") for entry in ledger
+        )
+        assert any(entry.status == "proved" for entry in ledger)
+
+    def test_overflow_entry_status(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "fixture/mod.py": WIRE_PRELUDE
+                + (
+                    "def encode():\n"
+                    "    writer = BitWriter()\n"
+                    "    frame = 300\n"
+                    "    writer.write(frame, _LEN_BITS)\n"
+                )
+            },
+        )
+        ledger = build_proof_ledger(project, packages=("fixture",))
+        frames = [e for e in ledger if e.value_expr == "frame"]
+        assert len(frames) == 1
+        assert frames[0].status == "overflow"
+        assert frames[0].slack == 255 - 300
+        assert frames[0].width_bits == 8
+
+    def test_render_and_properties(self, tmp_path):
+        project = project_for(
+            tmp_path,
+            {
+                "fixture/mod.py": WIRE_PRELUDE
+                + (
+                    "def encode():\n"
+                    "    writer = BitWriter()\n"
+                    "    writer.write(min(max(0, 0), 255), _LEN_BITS)\n"
+                )
+            },
+        )
+        ledger = build_proof_ledger(project, packages=("fixture",))
+        table = render_proof_ledger(ledger)
+        assert "proven range" in table
+        assert "wire-field write(s)" in table
+        payload = ledger_properties(ledger)
+        assert payload["proofLedger"]["version"] == 1
+        assert len(payload["proofLedger"]["fields"]) == len(ledger)
+        json.dumps(payload)  # must be JSON-serialisable as-is
+
+
+# ----------------------------------------------------------------------
+# CLI / SARIF plumbing
+# ----------------------------------------------------------------------
+class TestCliPlumbing:
+    def test_report_prints_ledger(self, capsys):
+        code = lint_main(
+            [
+                str(SRC_ROOT / "repro" / "aff"),
+                "--no-baseline",
+                "--ranges",
+                "--report",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wire-field write(s)" in out
+        assert "_FRAGLEN_BITS" in out
+
+    def test_json_format_carries_ledger_only_with_ranges(self, capsys):
+        assert (
+            lint_main(
+                [
+                    str(SRC_ROOT / "repro" / "aff"),
+                    "--no-baseline",
+                    "--ranges",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["ledger"], "ledger missing from JSON output"
+        statuses = {entry["status"] for entry in payload["ledger"]}
+        assert statuses <= {"proved", "symbolic-width"}
+
+        assert (
+            lint_main(
+                [
+                    str(SRC_ROOT / "repro" / "aff"),
+                    "--no-baseline",
+                    "--project",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert "ledger" not in payload
+
+    def test_sarif_properties_only_with_ranges(self, tmp_path):
+        target = SRC_ROOT / "repro" / "aff"
+        with_ranges = tmp_path / "ranges.sarif"
+        without = tmp_path / "plain.sarif"
+        assert (
+            lint_main(
+                [str(target), "--no-baseline", "--ranges",
+                 "--sarif", str(with_ranges)]
+            )
+            == 0
+        )
+        assert (
+            lint_main(
+                [str(target), "--no-baseline", "--project",
+                 "--sarif", str(without)]
+            )
+            == 0
+        )
+        document = json.loads(with_ranges.read_text(encoding="utf-8"))
+        fields = document["runs"][0]["properties"]["proofLedger"]["fields"]
+        assert fields
+        plain = json.loads(without.read_text(encoding="utf-8"))
+        assert "properties" not in plain["runs"][0]
+
+    def test_repro_lint_subcommand_routes_flags(self, capsys):
+        from repro.cli import main as repro_main
+
+        code = repro_main(
+            [
+                "lint",
+                str(SRC_ROOT / "repro" / "aff"),
+                "--no-baseline",
+                "--ranges",
+                "--report",
+            ]
+        )
+        assert code == 0
+        assert "wire-field write(s)" in capsys.readouterr().out
+
+    def test_rule_descriptors_point_at_pack_9_docs(self, tmp_path):
+        sarif_path = tmp_path / "out.sarif"
+        (tmp_path / "mod.py").write_text("X = 1\n", encoding="utf-8")
+        assert (
+            lint_main(
+                [str(tmp_path / "mod.py"), "--no-baseline", "--ranges",
+                 "--sarif", str(sarif_path)]
+            )
+            == 0
+        )
+        document = json.loads(sarif_path.read_text(encoding="utf-8"))
+        rules = {
+            rule["id"]: rule
+            for rule in document["runs"][0]["tool"]["driver"]["rules"]
+        }
+        anchor = "docs/static-analysis.md#pack-9--value-range-analysis-range"
+        for rule_id in ("WIRE004", "RANGE001", "RANGE002"):
+            assert rules[rule_id]["helpUri"] == anchor
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+def test_pack_9_rules_registered():
+    ids = {rule.rule_id for rule in all_project_rules()}
+    assert {"WIRE004", "RANGE001", "RANGE002"} <= ids
