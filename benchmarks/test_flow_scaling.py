@@ -38,6 +38,7 @@ from repro.flow import (
     simulate_sharded,
     window_plan,
 )
+from repro.obs.metrics import MetricsRegistry, collecting
 from repro.obs.spans import SpanProfiler, layer_breakdown, profiling
 
 SIZES = (
@@ -59,9 +60,10 @@ SHARD_WORKERS = 4
 def run_flow_scaling():
     clock = SpanProfiler.clock
     profiler = SpanProfiler()
+    registry = MetricsRegistry()
     rows = []
     extras = {}
-    with profiling(profiler):
+    with profiling(profiler), collecting(registry):
         for n_nodes in SIZES:
             scenario = massive_scenario(n_nodes=n_nodes, horizon=HORIZON)
             t0 = clock()
@@ -78,7 +80,16 @@ def run_flow_scaling():
             )
             if n_nodes == MEASURE_NODES:
                 extras = _measure(scenario, result, wall, clock)
-    return rows, profiler.to_json(), extras
+    counters = {
+        name: registry.counter(name)
+        for name in (
+            "flow.windows",
+            "flow.transactions",
+            "flow.collisions",
+            "aff.checksum_failures",
+        )
+    }
+    return rows, profiler.to_json(), extras, counters
 
 
 def _measure(scenario, serial_result, serial_wall, clock):
@@ -118,7 +129,7 @@ def _measure(scenario, serial_result, serial_wall, clock):
 
 
 def test_flow_scaling(benchmark, publish):
-    rows, spans, extras = benchmark.pedantic(
+    rows, spans, extras, counters = benchmark.pedantic(
         run_flow_scaling, rounds=1, iterations=1
     )
 
@@ -151,8 +162,16 @@ def test_flow_scaling(benchmark, publish):
             "fastpath_speedup": extras["fastpath_speedup"],
             "sharded": extras,
             "telemetry": extras["telemetry"],
+            "counters": counters,
         },
     )
+
+    # Deterministic counters: the registry agrees with the results the
+    # rows report (collision rate = collisions / transactions), and the
+    # pure-flow run never exercised the frame-level checksum path.
+    assert counters["flow.transactions"] >= sum(r["transactions"] for r in rows)
+    assert counters["flow.collisions"] > 0
+    assert counters["aff.checksum_failures"] == 0
 
     largest = rows[-1]
     # The acceptance bar: the 1M-node family runs in well under a

@@ -27,6 +27,7 @@ from ..core.identifiers import IdentifierSelector
 from ..core.transactions import Transaction, TransactionLog
 from ..net.checksum import ChecksumFn, fletcher16
 from ..net.packets import BitBudget, Packet
+from ..obs.metrics import active_metrics
 from ..radio.frame import Frame
 from ..radio.radio import Radio
 from ..sim.rng import fallback_stream
@@ -40,9 +41,15 @@ from .wire import (
     NotifyFragment,
 )
 
-__all__ = ["AffDriver", "AffDriverStats"]
+__all__ = ["AffDriver", "AffDriverStats", "ID_WIDTH_BUCKET_EDGES"]
 
 DeliveryCallback = Callable[[bytes], None]
+
+#: Declared bucket edges for the identifier-collision width histogram
+#: (``aff.id_collision_bits``): collisions bucket by the identifier
+#: space's bit width, covering the paper's 3..16-bit sweep with an
+#: overflow bucket for anything wider.  Constant by lint rule OBS002.
+ID_WIDTH_BUCKET_EDGES = (4, 8, 12, 16)
 
 
 @dataclass
@@ -122,11 +129,14 @@ class AffDriver:
         self.fragmenter = Fragmenter(
             self.codec, mtu_bytes=radio.max_frame_bytes, checksum=checksum
         )
+        # Deterministic counters; the conflict hook below observes the
+        # collision-width histogram even when notifications are off.
+        self._metrics = active_metrics()
         self.reassembler = Reassembler(
             checksum=checksum,
             timeout=reassembly_timeout,
             deliver=deliver,
-            on_conflict=(self._broadcast_notification if notify_collisions else None),
+            on_conflict=self._on_reassembly_conflict,
             keep_orphan_spans=keep_orphan_spans,
         )
         self.txn_log = txn_log
@@ -189,7 +199,11 @@ class AffDriver:
             self.budget.charge_transmit("payload", frame.payload_bits)
             self.radio.send(frame)
             self.stats.fragments_sent += 1
+            if self._metrics is not None:
+                self._metrics.inc("aff.fragments_tx")
         self.stats.packets_sent += 1
+        if self._metrics is not None:
+            self._metrics.inc("aff.packets_tx")
         return identifier
 
     def _on_frame_transmitted(self, frame: Frame) -> None:
@@ -220,6 +234,24 @@ class AffDriver:
         if txn is not None:
             self.txn_log.end(txn, self.sim.now)
         self.selector.note_transaction_end(identifier)
+
+    def _on_reassembly_conflict(self, identifier: int) -> None:
+        """Reassembler-detected identifier collision on this node.
+
+        Buckets the collision by the identifier space's width (the
+        paper's independent variable for Figure 4), then broadcasts the
+        collision notification iff that behaviour was asked for —
+        keeping the notification protocol's on-air behaviour identical
+        to a build without metrics.
+        """
+        if self._metrics is not None:
+            self._metrics.observe(
+                "aff.id_collision_bits",
+                self.selector.space.bits,
+                ID_WIDTH_BUCKET_EDGES,
+            )
+        if self.notify_collisions:
+            self._broadcast_notification(identifier)
 
     def _broadcast_notification(self, identifier: int) -> None:
         """Tell the neighbourhood that ``identifier`` just collided here."""

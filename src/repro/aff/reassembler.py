@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 
 from ..net.checksum import ChecksumFn, fletcher16
 from ..net.reassembly import ReassemblyBuffer
+from ..obs.metrics import active_metrics
 from ..obs.spans import active_profiler
 from .wire import DataFragment, Fragment, IntroFragment
 
@@ -86,6 +87,9 @@ class Reassembler:
         self._delivered: List[bytes] = []
         # Observational-only span profiling, bound at construction.
         self._profiler = active_profiler()
+        # Deterministic counters (fragments, conflicts, checksum fates);
+        # bound once here, one None-check per accept when off.
+        self._metrics = active_metrics()
 
     # ------------------------------------------------------------------
     @property
@@ -119,12 +123,15 @@ class Reassembler:
         return payload
 
     def _accept(self, fragment: Fragment, now: float) -> Optional[bytes]:
+        metrics = self._metrics
         self.stats.evictions += self._buffer.evict_stale(now)
         if not isinstance(fragment, (IntroFragment, DataFragment)):
             # Control fragments (e.g. collision notifications) carry no
             # reassembly state; they are the driver's business.
             return None
         self.stats.fragments_accepted += 1
+        if metrics is not None:
+            metrics.inc("aff.fragments_rx")
         entry = self._buffer.get_or_create(fragment.identifier, now)
 
         if isinstance(fragment, IntroFragment):
@@ -138,6 +145,8 @@ class Reassembler:
                 or entry.expected_checksum != fragment.checksum
             ):
                 self.stats.intro_conflicts += 1
+                if metrics is not None:
+                    metrics.inc("aff.id_collisions")
                 if self.on_conflict is not None:
                     self.on_conflict(fragment.identifier)
                 entry = self._reset_entry(fragment.identifier, now)
@@ -156,6 +165,8 @@ class Reassembler:
                 # Conflicting bytes: two packets share the identifier.
                 # Keep only the newest fragment; the older packet is lost.
                 self.stats.span_conflicts += 1
+                if metrics is not None:
+                    metrics.inc("aff.id_collisions")
                 if self.on_conflict is not None:
                     self.on_conflict(fragment.identifier)
                 entry = self._reset_entry(fragment.identifier, now)
@@ -166,8 +177,12 @@ class Reassembler:
             self._buffer.complete(fragment.identifier)
             if self.checksum(payload) != entry.expected_checksum:
                 self.stats.checksum_failures += 1
+                if metrics is not None:
+                    metrics.inc("aff.checksum_failures")
                 return None
             self.stats.packets_delivered += 1
+            if metrics is not None:
+                metrics.inc("aff.packets_delivered")
             self._delivered.append(payload)
             if self.deliver is not None:
                 self.deliver(payload)

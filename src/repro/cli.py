@@ -73,6 +73,12 @@ def _add_exec_flags(sub: argparse.ArgumentParser, default_cache: Optional[str] =
         help="profile per-layer wall time inside trials (observational "
         "only; summaries land in telemetry and obs summaries)",
     )
+    group.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="collect deterministic counters/histograms across every "
+        "layer and write the snapshot (JSONL) to PATH; snapshots are "
+        "bit-identical at any worker/shard count",
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> TrialRunner:
@@ -507,6 +513,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="compare the existing history only")
     trd.set_defaults(func=_cmd_bench_trend)
 
+    met = sub.add_parser(
+        "metrics",
+        help="show, export, and diff deterministic metrics snapshots "
+        "(repro.obs.metrics)",
+    )
+    # Deferred import, same pattern as obs below: the metrics CLI only
+    # loads when the subcommand is actually built.
+    from .obs.metrics_cli import configure_parser as _configure_metrics
+
+    _configure_metrics(met)
+
     obs = sub.add_parser(
         "obs",
         help="record, summarize, and diff structured traces (repro.obs)",
@@ -569,6 +586,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_lint_argv(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
+    # ``--metrics PATH`` activates the deterministic metrics registry
+    # around the whole command (one slot, mirroring span profiling) and
+    # snapshots it afterwards.  Centralized here so every subcommand
+    # that takes the flag behaves identically.
+    metrics_out = getattr(args, "metrics", None)
+    if metrics_out:
+        from .obs.metrics import MetricsRegistry, collecting, write_snapshot
+
+        registry = MetricsRegistry()
+        with collecting(registry):
+            code = int(args.func(args))
+        written = write_snapshot(metrics_out, registry)
+        print(f"wrote {written} metric(s) to {metrics_out}", file=sys.stderr)
+        return code
     return args.func(args)
 
 

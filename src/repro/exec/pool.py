@@ -182,6 +182,7 @@ def spec_payload(
     timeout: Optional[float],
     retries: int,
     profile: bool = False,
+    metrics: bool = False,
 ) -> Optional[Dict[str, Any]]:
     """The task frame for ``spec``, or None if it cannot be pooled."""
     fn_ref = _callable_ref(spec.fn)
@@ -202,6 +203,8 @@ def spec_payload(
     }
     if profile:
         payload["profile"] = True
+    if metrics:
+        payload["metrics"] = True
     return payload
 
 
@@ -266,6 +269,7 @@ def _worker_main(reader_fd: int, writer_fd: int, worker_id: int) -> None:
                     task.get("timeout"),
                     int(task.get("retries", 0)),
                     profile=bool(task.get("profile", False)),
+                    metrics=bool(task.get("metrics", False)),
                 )
             message["index"] = index
             message["worker"] = worker_id
@@ -425,6 +429,7 @@ class WorkerPool:
         timeout: Optional[float] = None,
         retries: int = 0,
         profile: bool = False,
+        metrics: bool = False,
     ) -> Tuple[Dict[int, Dict[str, Any]], List[int]]:
         """Run the poolable subset of ``pending``; return the rest.
 
@@ -440,7 +445,9 @@ class WorkerPool:
         poolable: List[Tuple[int, Dict[str, Any]]] = []
         unpoolable: List[int] = []
         for index in pending:
-            payload = spec_payload(specs[index], timeout, retries, profile=profile)
+            payload = spec_payload(
+                specs[index], timeout, retries, profile=profile, metrics=metrics
+            )
             if payload is None:
                 unpoolable.append(index)
             else:

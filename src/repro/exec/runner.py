@@ -51,6 +51,7 @@ from typing import (
 )
 
 from ..analysis.sanitizer.runtime import active_sanitizer, state_snapshot
+from ..obs.metrics import MetricsRegistry, active_metrics, collecting
 from ..obs.spans import SpanProfiler, profiling
 from .cache import ResultCache
 from .telemetry import RunTelemetry, TrialRecord
@@ -198,6 +199,7 @@ def execute_call(
     timeout: Optional[float],
     retries: int,
     profile: bool = False,
+    metrics: bool = False,
 ) -> Dict[str, Any]:
     """Run ``fn(**kwargs)`` with deadline + bounded retry; return a message.
 
@@ -216,6 +218,14 @@ def execute_call(
     telemetry.  Profiling is observational: the trial's value is
     identical either way.
 
+    ``metrics`` does the same for the deterministic counter layer: a
+    fresh :class:`repro.obs.metrics.MetricsRegistry` is active per
+    *attempt* (a failed attempt's partial counts never leak into the
+    totals), and the successful message carries the table under
+    ``"metrics"``.  The trial itself books ``exec.trials`` and
+    ``exec.retries`` into that nested registry, so exec-layer counts
+    travel and merge exactly like simulation-layer ones.
+
     Under an active DetSan context the message likewise carries the
     process's drained draw-ledger observations under ``"sanitizer"``
     (see :mod:`repro.analysis.sanitizer.runtime`), and module-state
@@ -233,11 +243,18 @@ def execute_call(
     while True:
         attempts += 1
         prof = SpanProfiler() if profile else None
+        registry = MetricsRegistry() if metrics else None
         t0 = time.perf_counter()
         try:
             with _deadline(timeout):
-                if prof is not None:
+                if prof is not None and registry is not None:
+                    with profiling(prof), collecting(registry):
+                        value = fn(**dict(kwargs))
+                elif prof is not None:
                     with profiling(prof):
+                        value = fn(**dict(kwargs))
+                elif registry is not None:
+                    with collecting(registry):
                         value = fn(**dict(kwargs))
                 else:
                     value = fn(**dict(kwargs))
@@ -256,6 +273,11 @@ def execute_call(
             if prof is not None:
                 prof.add("exec.trial", message["duration"])
                 message["spans"] = prof.to_json()
+            if registry is not None:
+                registry.inc("exec.trials")
+                if attempts > 1:
+                    registry.inc("exec.retries", attempts - 1)
+                message["metrics"] = registry.to_json()
             if san is not None:
                 san.record_trial_drift(pre_state, state_snapshot(), _trial_site(fn))
                 message["sanitizer"] = san.export_for_message()
@@ -356,16 +378,26 @@ class TrialRunner:
             TrialOutcome(value=None, ok=False) for _ in specs
         ]
 
+        # Cache traffic is a parent-side decomposition fact, so it books
+        # straight into the parent's active registry (cached trials never
+        # re-run, hence carry no trial-side metrics of their own).
+        registry = active_metrics()
+        metrics_on = registry is not None
+
         pending: List[int] = []
         for index, spec in enumerate(specs):
             if self.cache is not None and spec.cache_key is not None:
                 hit, stored = self.cache.get(spec.cache_key)
                 if hit:
+                    if registry is not None:
+                        registry.inc("exec.cache_hits")
                     outcomes[index] = TrialOutcome(
                         value=decode_jsonable(stored), ok=True, cached=True
                     )
                     continue
                 telemetry.cache_misses += 1
+                if registry is not None:
+                    registry.inc("exec.cache_misses")
             pending.append(index)
 
         effective = max(1, min(self.workers, len(pending)))
@@ -377,6 +409,7 @@ class TrialRunner:
                     timeout=self.timeout,
                     retries=self.retries,
                     profile=self.profile,
+                    metrics=metrics_on,
                 )
                 telemetry.pool_batches += 1
                 telemetry.pool_respawns += self.pool.take_respawns()
@@ -388,16 +421,20 @@ class TrialRunner:
                     telemetry.pool_fallbacks += len(unpooled)
                     fb_workers = max(1, min(self.workers, len(unpooled)))
                     if fb_workers == 1:
-                        messages.update(self._run_serial(specs, unpooled))
+                        messages.update(
+                            self._run_serial(specs, unpooled, metrics_on)
+                        )
                     else:
                         messages.update(
-                            self._run_forked(specs, unpooled, fb_workers)
+                            self._run_forked(
+                                specs, unpooled, fb_workers, metrics_on
+                            )
                         )
             elif effective == 1 or not hasattr(os, "fork"):
                 effective = 1
-                messages = self._run_serial(specs, pending)
+                messages = self._run_serial(specs, pending, metrics_on)
             else:
-                messages = self._run_forked(specs, pending, effective)
+                messages = self._run_forked(specs, pending, effective, metrics_on)
             self._collect(specs, pending, messages, outcomes, telemetry)
 
         telemetry.workers = effective
@@ -427,17 +464,27 @@ class TrialRunner:
         return outcomes
 
     # ------------------------------------------------------------------
-    def _execute_one(self, spec: TrialSpec) -> Dict[str, Any]:
+    def _execute_one(
+        self, spec: TrialSpec, metrics: bool = False
+    ) -> Dict[str, Any]:
         return execute_call(
-            spec.fn, spec.kwargs, self.timeout, self.retries, profile=self.profile
+            spec.fn,
+            spec.kwargs,
+            self.timeout,
+            self.retries,
+            profile=self.profile,
+            metrics=metrics,
         )
 
     def _run_serial(
-        self, specs: Sequence[TrialSpec], pending: Sequence[int]
+        self,
+        specs: Sequence[TrialSpec],
+        pending: Sequence[int],
+        metrics: bool = False,
     ) -> Dict[int, Dict[str, Any]]:
         messages: Dict[int, Dict[str, Any]] = {}
         for index in pending:
-            message = self._execute_one(specs[index])
+            message = self._execute_one(specs[index], metrics)
             # Round-trip through JSON so the serial path is byte-for-byte
             # the parallel path (tuples become lists, floats reparse).
             message = json.loads(json.dumps(message, allow_nan=False))
@@ -446,7 +493,11 @@ class TrialRunner:
         return messages
 
     def _run_forked(
-        self, specs: Sequence[TrialSpec], pending: Sequence[int], workers: int
+        self,
+        specs: Sequence[TrialSpec],
+        pending: Sequence[int],
+        workers: int,
+        metrics: bool = False,
     ) -> Dict[int, Dict[str, Any]]:
         shards = [list(pending[w::workers]) for w in range(workers)]
         children: List[Tuple[int, int]] = []  # (pid, read_fd)
@@ -468,7 +519,7 @@ class TrialRunner:
                     os.close(read_fd)
                     with os.fdopen(write_fd, "wb", buffering=0) as out:
                         for index in shard:
-                            message = self._execute_one(specs[index])
+                            message = self._execute_one(specs[index], metrics)
                             message["worker"] = worker_id
                             message["index"] = index
                             data = json.dumps(message, allow_nan=False).encode(
@@ -563,6 +614,13 @@ class TrialRunner:
                 spans = message.get("spans")
                 if telemetry is not None and spans:
                     telemetry.add_spans(spans)
+                table = message.get("metrics")
+                if table:
+                    if telemetry is not None:
+                        telemetry.add_metrics(table)
+                    parent = active_metrics()
+                    if parent is not None:
+                        parent.merge_json(table)
                 # "plain" payloads carry no transport tags; skip the
                 # Python-level decode walk (hot for packed segments).
                 outcomes[index] = TrialOutcome(

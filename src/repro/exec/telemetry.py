@@ -17,6 +17,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
+from ..obs.metrics import MetricsRegistry
 from ..obs.spans import layer_breakdown
 
 __all__ = ["RunTelemetry", "TrialRecord"]
@@ -78,6 +79,9 @@ class RunTelemetry:
     #: span wall-time table ({name: {count,total,min,max}}) folded in
     #: from profiled trials (see :mod:`repro.obs.spans`)
     spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: deterministic metric table ({name: {kind, value|edges+buckets}})
+    #: folded in from metric-carrying trials (see :mod:`repro.obs.metrics`)
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     records: List[TrialRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -116,6 +120,19 @@ class RunTelemetry:
                 into["min"] = float(stats["min"])
             if prior <= 0 or float(stats["max"]) > float(into["max"]):
                 into["max"] = float(stats["max"])
+
+    def add_metrics(self, table: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a trial's metric table (from a worker message) in.
+
+        Routed through :class:`~repro.obs.metrics.MetricsRegistry` so
+        counter sums, gauge high-watermarks, and histogram-edge checks
+        follow exactly one set of merge rules everywhere.
+        """
+        registry = MetricsRegistry()
+        if self.metrics:
+            registry.merge_json(self.metrics)
+        registry.merge_json(table)
+        self.metrics = registry.to_json()
 
     def shard_timings(self) -> Dict[str, float]:
         """Per-segment wall times of a sharded trial, keyed by label.
@@ -163,6 +180,8 @@ class RunTelemetry:
             self.worker_tasks[worker] = self.worker_tasks.get(worker, 0) + tasks
         if other.spans:
             self.add_spans(other.spans)
+        if other.metrics:
+            self.add_metrics(other.metrics)
         self.records.extend(other.records)
 
     # ------------------------------------------------------------------
@@ -203,6 +222,10 @@ class RunTelemetry:
             out["layer_times"] = {
                 layer: round(total, 6)
                 for layer, total in layer_breakdown(self.spans).items()
+            }
+        if self.metrics:
+            out["metrics"] = {
+                name: dict(entry) for name, entry in sorted(self.metrics.items())
             }
         return out
 

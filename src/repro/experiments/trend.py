@@ -30,6 +30,7 @@ __all__ = [
     "TrendFinding",
     "TrendReport",
     "analyze",
+    "counters_of",
     "layers_of",
     "load_history",
     "record_snapshot",
@@ -135,6 +136,31 @@ def layers_of(payload: Dict[str, Any]) -> Optional[Dict[str, float]]:
     return None
 
 
+def counters_of(payload: Dict[str, Any]) -> Optional[Dict[str, int]]:
+    """Deterministic metric counters of one ``BENCH_*.json`` payload.
+
+    Benchmarks that run with a metrics registry collecting (see
+    :mod:`repro.obs.metrics`) publish a ``counters`` dict — simulated
+    quantities like ``flow.collisions`` or ``aff.checksum_failures``
+    that are pure functions of the scenario and seed.  Recording them
+    in the trend history catches *behavioural* drift (a benchmark that
+    got faster because it simulated less) that wall time alone hides.
+    None when absent or empty.
+    """
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        return None
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict):
+        return None
+    out = {
+        str(name): int(value)
+        for name, value in counters.items()
+        if isinstance(value, int) and not isinstance(value, bool)
+    }
+    return out or None
+
+
 def load_history(history_path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
     """Parse the JSONL history; unparseable lines are dropped."""
     path = pathlib.Path(history_path)
@@ -196,6 +222,9 @@ def record_snapshot(
             entry["layers"] = {
                 layer: round(total, 6) for layer, total in sorted(layers.items())
             }
+        counters = counters_of(payload)
+        if counters is not None:
+            entry["counters"] = dict(sorted(counters.items()))
         lines.append(json.dumps(entry, sort_keys=True))
     if lines:
         history.parent.mkdir(parents=True, exist_ok=True)
@@ -220,6 +249,10 @@ class TrendFinding:
     tasks: Optional[int] = None
     #: per-layer wall-time breakdown of the latest run, when recorded
     layers: Optional[Dict[str, float]] = None
+    #: deterministic metric counters of the latest run, when recorded
+    counters: Optional[Dict[str, int]] = None
+    #: counters that changed vs the previous run at the same fidelity
+    counter_drift: Optional[Dict[str, tuple]] = None
 
     def render(self) -> str:
         extra = ""
@@ -240,6 +273,11 @@ class TrendFinding:
                 extra += " [" + ", ".join(
                     f"{layer} {total:.3f}s" for layer, total in hot[:3]
                 ) + "]"
+        if self.counter_drift:
+            extra += " {" + ", ".join(
+                f"{name} {before}->{after}"
+                for name, (before, after) in sorted(self.counter_drift.items())
+            ) + "}"
         if self.baseline is None:
             return f"{self.name}: {self.latest:.4f}s (first recorded run){extra}"
         verdict = "REGRESSED" if self.regressed else "ok"
@@ -297,6 +335,25 @@ def analyze(
         tasks = int(tasks) if isinstance(tasks, (int, float)) else None
         layers = newest.get("layers")
         layers = dict(layers) if isinstance(layers, dict) and layers else None
+        counters = newest.get("counters")
+        counters = (
+            dict(counters) if isinstance(counters, dict) and counters else None
+        )
+        # Counters are pure functions of (scenario, seed): any change
+        # vs the previous recorded run means the benchmark simulated
+        # something different, which a wall-time ratio cannot explain.
+        drift: Optional[Dict[str, tuple]] = None
+        if counters is not None:
+            for previous in reversed(entries[:-1]):
+                before = previous.get("counters")
+                if not isinstance(before, dict):
+                    continue
+                drift = {
+                    str(key): (before[key], counters[key])
+                    for key in sorted(set(before) & set(counters))
+                    if before[key] != counters[key]
+                } or None
+                break
         earlier = [float(e["wall"]) for e in entries[:-1]]
         if not earlier:
             report.findings.append(
@@ -309,6 +366,8 @@ def analyze(
                     util=util,
                     tasks=tasks,
                     layers=layers,
+                    counters=counters,
+                    counter_drift=drift,
                 )
             )
             continue
@@ -324,6 +383,8 @@ def analyze(
                 util=util,
                 tasks=tasks,
                 layers=layers,
+                counters=counters,
+                counter_drift=drift,
             )
         )
     return report

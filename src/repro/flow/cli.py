@@ -294,6 +294,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="export the merged run trace (byte-identical "
                      "at any worker/shard count)")
+    run.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write the run's deterministic metrics "
+                     "snapshot (JSONL) to PATH; bit-identical at any "
+                     "worker/shard count")
     run.set_defaults(func=_cmd_run)
 
     cal = sub.add_parser(

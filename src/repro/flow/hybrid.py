@@ -37,6 +37,7 @@ from ..core.identifiers import IdentifierSpace
 from ..core.montecarlo import FixedDuration, _generate_arrivals, _replay
 from ..core.transactions import TransactionLog
 from ..obs.envelope import TraceWriter
+from ..obs.metrics import active_metrics
 from ..obs.spans import span
 from ..sim.rng import RngRegistry
 from .sampler import FlowResult, WindowOutcome, WindowSpec, sample_window, window_plan
@@ -151,9 +152,15 @@ def simulate(
     if switch_threshold <= 0:
         raise ValueError("switch_threshold must be positive")
     registry = RngRegistry(seed)
+    metrics = active_metrics()
     outcomes: List[WindowOutcome] = []
     for spec in window_plan(scenario):
-        if wants_frame(fidelity, spec, switch_threshold):
+        escalate = wants_frame(fidelity, spec, switch_threshold)
+        if metrics is not None:
+            metrics.inc("flow.windows")
+            if escalate:
+                metrics.inc("flow.escalations")
+        if escalate:
             with span("flow.frame"):
                 outcomes.append(frame_window(scenario, spec, registry))
         else:
@@ -162,6 +169,10 @@ def simulate(
                 outcomes.append(
                     sample_window(spec, scenario.id_bits, rng, model)
                 )
+        if metrics is not None:
+            outcome = outcomes[-1]
+            metrics.inc("flow.transactions", outcome.transactions)
+            metrics.inc("flow.collisions", outcome.collisions)
     return FlowResult(
         transactions=sum(w.transactions for w in outcomes),
         collisions=sum(w.collisions for w in outcomes),

@@ -34,6 +34,7 @@ from functools import lru_cache
 from typing import List, Tuple
 
 from ..core.model import collision_probability, collision_probability_mixed
+from ..obs.metrics import inc
 from ..obs.spans import span
 from ..sim.rng import RngRegistry
 from .streams import FlowScenario
@@ -251,6 +252,7 @@ def sample_window(
 
     fast = sample_window_fast(window, id_bits, rng, model)
     if fast is not None:
+        inc("flow.fastpath_hits")
         return fast
     n = poisson(rng, window.arrival_rate * window.width)
     if n == 0:

@@ -48,6 +48,7 @@ from .. import __version__
 from ..exec import ExecError, TrialRunner, TrialSpec, trial_key
 from ..obs.envelope import TraceWriter
 from ..obs.merge import collect_shards, merge_shards
+from ..obs.metrics import active_metrics
 from ..obs.spans import span
 from ..sim.rng import RngRegistry
 from .hybrid import DEFAULT_SWITCH_THRESHOLD, FIDELITY_MODES, frame_window, wants_frame
@@ -205,6 +206,9 @@ def window_range_trial(
             f"window range [{lo}, {hi}) outside plan of {len(plan)} window(s)"
         )
     registry = RngRegistry(seed)
+    # Same per-window hooks as ``hybrid.simulate`` — the summed counters
+    # of a sharded run must equal the serial run's exactly.
+    metrics = active_metrics()
     writer: Optional[TraceWriter] = None
     if trace_path is not None:
         writer = TraceWriter(trace_path, meta={"windows": [lo, hi]})
@@ -212,6 +216,10 @@ def window_range_trial(
     try:
         for spec in plan[lo:hi]:
             frame = wants_frame(fidelity, spec, switch_threshold)
+            if metrics is not None:
+                metrics.inc("flow.windows")
+                if frame:
+                    metrics.inc("flow.escalations")
             if writer is not None:
                 writer.emit(
                     spec.t0,
@@ -228,6 +236,9 @@ def window_range_trial(
                 with span("flow.sample"):
                     rng = registry.stream(f"flow.window.{spec.index}")
                     outcome = sample_window(spec, scenario.id_bits, rng, model)
+            if metrics is not None:
+                metrics.inc("flow.transactions", outcome.transactions)
+                metrics.inc("flow.collisions", outcome.collisions)
             if writer is not None:
                 writer.emit(
                     spec.t1,

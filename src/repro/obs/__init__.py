@@ -7,6 +7,12 @@ without perturbing it:
   simulator's dispatch loop, the exec layer, and the AFF/radio hot
   paths; per-layer breakdowns feed :class:`repro.exec.telemetry
   .RunTelemetry` and ``bench-trend``.
+* :mod:`.metrics` — deterministic counters / gauges / fixed-bucket
+  histograms with the same activation-slot shape as spans; snapshots
+  are canonical JSONL and merge bit-identically across worker and
+  shard boundaries (``repro metrics {show,export,diff}``).
+* :mod:`.forensics` — per-transaction lifecycle reconstruction from
+  exported traces (``repro obs why``).
 * :mod:`.envelope` — a versioned, streaming JSONL envelope for
   :class:`repro.sim.trace.TraceRecord` streams.
 * :mod:`.merge` — heap-merge of per-worker/per-segment trace shards
@@ -21,15 +27,24 @@ Everything here is observational only: no simulation or result path
 reads a profiler or a recorder, so enabling observability cannot change
 a simulated bit (the golden-regression suite runs with it on).
 
-This ``__init__`` deliberately re-exports only :mod:`.spans`, which
-imports nothing from the rest of the package — the simulation kernel
-and the exec layer import these names, and pulling in the envelope here
-would close an import cycle through :mod:`repro.exec.runner`.  Import
-:mod:`repro.obs.envelope` and friends explicitly.
+This ``__init__`` deliberately re-exports only :mod:`.spans` and
+:mod:`.metrics`, which import nothing from the rest of the package at
+module scope — the simulation kernel and the exec layer import these
+names, and pulling in the envelope here would close an import cycle
+through :mod:`repro.exec.runner`.  Import :mod:`repro.obs.envelope`
+and friends explicitly.
 """
 
 from __future__ import annotations
 
+from .metrics import (
+    MetricsRegistry,
+    active_metrics,
+    collecting,
+    gauge_max,
+    inc,
+    observe,
+)
 from .spans import (
     LAYER_BUCKETS,
     SpanProfiler,
@@ -43,11 +58,17 @@ from .spans import (
 
 __all__ = [
     "LAYER_BUCKETS",
+    "MetricsRegistry",
     "SpanProfiler",
     "SpanStats",
+    "active_metrics",
     "active_profiler",
+    "collecting",
+    "gauge_max",
+    "inc",
     "layer_breakdown",
     "layer_of_module",
+    "observe",
     "profiling",
     "span",
 ]

@@ -175,6 +175,39 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0 if diff.identical else 1
 
 
+def _cmd_why(args: argparse.Namespace) -> int:
+    from .envelope import TraceReadError
+    from .forensics import ForensicsError, TraceForensics
+
+    try:
+        forensics = TraceForensics.from_trace(args.trace)
+    except (ForensicsError, TraceReadError, OSError) as exc:
+        print(f"obs why: {exc}", file=sys.stderr)
+        return 2
+    if args.lost:
+        lost = forensics.lost()
+        print(f"{len(lost)} lost transaction(s) in {args.trace}:")
+        for txn_id in lost:
+            print(f"  {txn_id}")
+        return 0
+    if args.txn is None:
+        print(
+            "obs why: give a transaction id (<major>:<minor>) or --lost",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.json:
+            lifecycle = forensics.lifecycle(args.txn)
+            print(json.dumps(lifecycle.to_json(), sort_keys=True))
+        else:
+            print(forensics.explain(args.txn))
+    except ForensicsError as exc:
+        print(f"obs why: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def configure_parser(parser: argparse.ArgumentParser) -> None:
     """Attach the ``obs`` sub-subcommands to the given subparser."""
     from ..cli import _add_exec_flags
@@ -231,3 +264,22 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     dif.add_argument("left")
     dif.add_argument("right")
     dif.set_defaults(func=_cmd_diff)
+
+    why = sub.add_parser(
+        "why",
+        help="explain one transaction's fate from an exported trace "
+        "(who collided with it, and where)",
+    )
+    why.add_argument("txn", nargs="?", default=None,
+                     help="transaction id: window:ordinal (flow), "
+                     "segment:owner (montecarlo), or origin:seq "
+                     "(collision)")
+    why.add_argument("--trace", required=True, metavar="PATH",
+                     help="trace exported by `repro obs record` or "
+                     "`repro flow run --trace`")
+    why.add_argument("--lost", action="store_true",
+                     help="list every lost transaction instead of "
+                     "explaining one")
+    why.add_argument("--json", action="store_true",
+                     help="emit the lifecycle as JSON instead of prose")
+    why.set_defaults(func=_cmd_why)

@@ -40,6 +40,7 @@ __all__ = [
     "TRACE_KIND",
     "TraceReadError",
     "TraceWriter",
+    "canonical_number",
     "read_header",
     "read_trace",
     "load_trace",
@@ -57,6 +58,31 @@ PathLike = Union[str, pathlib.Path]
 
 class TraceReadError(ValueError):
     """A file is not a complete, readable trace of the expected schema."""
+
+
+def canonical_number(
+    value: Union[int, float]
+) -> Union[int, float, Dict[str, str]]:
+    """One canonical JSON form for every number the obs layer emits.
+
+    Span tables, metric snapshots and trace records must all serialize
+    a given value to the same bytes, or byte-comparison of artifacts
+    becomes format trivia instead of a determinism check.  The rules:
+
+    * ints stay ints (never widened to ``1.0``);
+    * finite floats pass through — ``json.dumps`` emits the shortest
+      round-tripping decimal, which is already canonical;
+    * non-finite floats are tagged exactly the way the exec transport
+      and trace lines tag them: ``{"__float__": "nan" | "inf" | "-inf"}``
+      (``allow_nan=False`` would otherwise refuse to serialize them).
+    """
+    if isinstance(value, bool) or not isinstance(value, float):
+        return value
+    if value != value:
+        return {"__float__": "nan"}
+    if value in (float("inf"), float("-inf")):
+        return {"__float__": repr(value)}
+    return value
 
 
 def _record_line(record: TraceRecord) -> str:

@@ -1,0 +1,474 @@
+"""Transaction forensics: per-transaction lifecycles from obs traces.
+
+The paper's central failure mode is invisible at the aggregate level: a
+collision rate says *how many* transactions were lost but not *which*,
+and never *why*.  This module reconstructs individual transaction
+lifecycles from an exported trace (:mod:`repro.obs.envelope`) and
+answers the question ``repro obs why <txn-id>`` poses: walk one
+transaction's causal chain — identifier draw, fragments, collision
+partners, checksum outcome, delivery or loss — and name the *other*
+transaction that collided on the same ephemeral identifier, and where.
+
+Three trace vocabularies are understood, keyed by the trace header's
+``meta["scenario"]``:
+
+``flow``
+    :func:`repro.flow.shard.simulate_traced` exports.  Frame-escalated
+    windows carry one ``flow.txn`` record per transaction (arrival
+    time, identifier, collided flag); a transaction is addressed
+    ``<window>:<ordinal>`` by its arrival order within the window.  The
+    collision partner is any other transaction in the *same window*
+    that drew the *same identifier* — exactly the reassembly-key
+    aliasing the paper's Section 5 instrumentation counted.
+``montecarlo``
+    :func:`repro.obs.record.record_montecarlo` exports.  Transactions
+    are addressed ``<segment>:<owner>`` from their ``txn.begin`` /
+    ``txn.end`` records; partners hold the same identifier over an
+    overlapping ``[begin, end)`` interval (a transaction ending exactly
+    when another begins does **not** contend — half-open intervals,
+    matching :class:`repro.core.transactions.TransactionLog`).
+``collision``
+    :func:`repro.obs.record.record_collision` exports frame-level
+    ``frame.tx`` / ``frame.rx`` / ``frame.drop`` records.  A "transaction"
+    here is one frame, addressed ``<origin>:<seq>``; per-receiver delay
+    is ``receive_time - creation_time`` and RF-collision drops name the
+    frames concurrently on the air.
+
+Everything here is read-only and deterministic: lifecycles, partner
+lists and rendered explanations are pure functions of the trace bytes
+(partners sort by address, floats render with a fixed format), so
+explanations can be pinned in tests and diffed across runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..sim.trace import TraceRecord
+from .envelope import read_header, read_trace
+
+__all__ = [
+    "ForensicsError",
+    "TraceForensics",
+    "TxnEvent",
+    "TxnLifecycle",
+    "parse_txn_id",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+#: Scenarios with a per-transaction vocabulary this module can replay.
+SUPPORTED_SCENARIOS: Tuple[str, ...] = ("flow", "montecarlo", "collision")
+
+
+class ForensicsError(Exception):
+    """An unanswerable forensic question (unknown txn, wrong trace kind)."""
+
+
+def parse_txn_id(text: str) -> Tuple[int, int]:
+    """Parse a ``<major>:<minor>`` transaction address.
+
+    ``major`` is the window (flow), segment (montecarlo) or origin node
+    (collision); ``minor`` the per-major ordinal, owner or frame seq.
+    """
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise ForensicsError(
+            f"transaction id {text!r} is not of the form <major>:<minor> "
+            "(window:ordinal, segment:owner, or origin:seq)"
+        )
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError as exc:
+        raise ForensicsError(
+            f"transaction id {text!r}: both parts must be integers"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class TxnEvent:
+    """One step of a transaction's causal chain."""
+
+    time: float
+    what: str
+    detail: str
+
+
+@dataclass
+class TxnLifecycle:
+    """Everything the trace knows about one transaction."""
+
+    txn_id: str
+    scenario: str
+    major: int
+    minor: int
+    identifier: Optional[int]
+    begin: float
+    end: Optional[float] = None
+    collided: bool = False
+    fate: str = "unknown"
+    events: List[TxnEvent] = field(default_factory=list)
+    #: Partner transaction ids that shared this one's identifier in the
+    #: contention scope (same window / overlapping interval).
+    partners: List[str] = field(default_factory=list)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.begin
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-safe summary (used by ``repro obs why --json``)."""
+        return {
+            "txn": self.txn_id,
+            "scenario": self.scenario,
+            "identifier": self.identifier,
+            "begin": self.begin,
+            "end": self.end,
+            "collided": self.collided,
+            "fate": self.fate,
+            "partners": list(self.partners),
+            "events": [
+                {"time": e.time, "what": e.what, "detail": e.detail}
+                for e in self.events
+            ],
+        }
+
+
+def _sorted_txns(txns: Iterable["TxnLifecycle"]) -> List["TxnLifecycle"]:
+    """Transactions in numeric ``(major, minor)`` address order."""
+    return sorted(txns, key=lambda txn: (txn.major, txn.minor))
+
+
+def _fmt_time(value: float) -> str:
+    return f"t={value:.6f}"
+
+
+def _fmt_id(identifier: int) -> str:
+    return f"0x{identifier:x} ({identifier})"
+
+
+class TraceForensics:
+    """Reconstructed transaction lifecycles of one exported trace."""
+
+    def __init__(self, scenario: str, meta: Dict[str, Any]):
+        self.scenario = scenario
+        self.meta = meta
+        self.lifecycles: Dict[Tuple[int, int], TxnLifecycle] = {}
+        #: Flow traces only: window index -> its ``flow.window`` fields.
+        self.windows: Dict[int, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, path: PathLike) -> "TraceForensics":
+        """Load and reconstruct every transaction lifecycle in ``path``."""
+        header = read_header(path)
+        meta = header.get("meta") or {}
+        scenario = str(meta.get("scenario", ""))
+        if scenario not in SUPPORTED_SCENARIOS:
+            raise ForensicsError(
+                f"{path}: trace scenario {scenario!r} has no per-transaction "
+                f"vocabulary (supported: {', '.join(SUPPORTED_SCENARIOS)})"
+            )
+        forensics = cls(scenario, dict(meta))
+        records = list(read_trace(path))
+        if scenario == "flow":
+            forensics._build_flow(records)
+        elif scenario == "montecarlo":
+            forensics._build_montecarlo(records)
+        else:
+            forensics._build_collision(records)
+        return forensics
+
+    # ------------------------------------------------------------------
+    # Reconstruction, one vocabulary at a time
+    # ------------------------------------------------------------------
+    def _add(self, txn: TxnLifecycle) -> TxnLifecycle:
+        self.lifecycles[(txn.major, txn.minor)] = txn
+        return txn
+
+    def _build_flow(self, records: List[TraceRecord]) -> None:
+        """``flow.window`` / ``flow.txn`` / ``flow.outcome`` records."""
+        ordinals: Dict[int, int] = {}
+        by_key: Dict[Tuple[int, int], List[TxnLifecycle]] = {}
+        for record in records:
+            if record.category == "flow.window":
+                self.windows[int(record["window"])] = dict(record.fields)
+                continue
+            if record.category != "flow.txn":
+                continue
+            window = int(record["window"])
+            ordinal = ordinals.get(window, 0)
+            ordinals[window] = ordinal + 1
+            identifier = int(record["identifier"])
+            collided = bool(record["collided"])
+            txn = self._add(
+                TxnLifecycle(
+                    txn_id=f"{window}:{ordinal}",
+                    scenario="flow",
+                    major=window,
+                    minor=ordinal,
+                    identifier=identifier,
+                    begin=record.time,
+                    collided=collided,
+                    fate="lost" if collided else "delivered",
+                )
+            )
+            txn.events.append(
+                TxnEvent(
+                    record.time,
+                    "id draw",
+                    f"identifier {_fmt_id(identifier)} in window {window}",
+                )
+            )
+            by_key.setdefault((window, identifier), []).append(txn)
+        # Partners: the *collided* co-holders of the identifier in the
+        # same window.  Delivered transactions that drew the same
+        # identifier never overlapped in time (the frame replay would
+        # have flagged them), so they are bystanders, not causes.
+        for group in by_key.values():
+            contended = _sorted_txns(t for t in group if t.collided)
+            if len(contended) < 2:
+                continue
+            for txn in contended:
+                txn.partners = [
+                    other.txn_id for other in contended if other is not txn
+                ]
+
+    def _build_montecarlo(self, records: List[TraceRecord]) -> None:
+        """``txn.begin`` / ``txn.end`` / ``txn.collision`` records."""
+        by_id: Dict[int, List[TxnLifecycle]] = {}
+        for record in records:
+            if record.category == "txn.begin":
+                segment = int(record["segment"])
+                owner = int(record["owner"])
+                identifier = int(record["id"])
+                txn = self._add(
+                    TxnLifecycle(
+                        txn_id=f"{segment}:{owner}",
+                        scenario="montecarlo",
+                        major=segment,
+                        minor=owner,
+                        identifier=identifier,
+                        begin=record.time,
+                        fate="delivered",
+                    )
+                )
+                txn.events.append(
+                    TxnEvent(
+                        record.time,
+                        "id draw",
+                        f"identifier {_fmt_id(identifier)}",
+                    )
+                )
+                by_id.setdefault(identifier, []).append(txn)
+            elif record.category == "txn.end":
+                key = (int(record["segment"]), int(record["owner"]))
+                txn_opt = self.lifecycles.get(key)
+                if txn_opt is not None:
+                    txn_opt.end = record.time
+                    txn_opt.events.append(
+                        TxnEvent(record.time, "end", "transaction complete")
+                    )
+            elif record.category == "txn.collision":
+                key = (int(record["segment"]), int(record["owner"]))
+                txn_opt = self.lifecycles.get(key)
+                if txn_opt is not None:
+                    txn_opt.collided = True
+                    txn_opt.fate = "lost"
+                    txn_opt.events.append(
+                        TxnEvent(
+                            record.time,
+                            "collision",
+                            "flagged by the collision criterion",
+                        )
+                    )
+        # Partners: same identifier, overlapping [begin, end).  A
+        # transaction ending exactly when another begins does not
+        # contend (half-open intervals).
+        for group in by_id.values():
+            if len(group) < 2:
+                continue
+            ordered = _sorted_txns(group)
+            for txn in ordered:
+                partners = []
+                for other in ordered:
+                    if other is txn:
+                        continue
+                    t_end = txn.end if txn.end is not None else float("inf")
+                    o_end = other.end if other.end is not None else float("inf")
+                    if txn.begin < o_end and other.begin < t_end:
+                        partners.append(other.txn_id)
+                txn.partners = partners
+
+    def _build_collision(self, records: List[TraceRecord]) -> None:
+        """``frame.tx`` / ``frame.rx`` / ``frame.drop`` records."""
+        airborne: List[Tuple[float, TxnLifecycle]] = []
+        for record in records:
+            if record.category == "frame.tx":
+                origin = int(record["origin"])
+                seq = int(record["seq"])
+                txn = self._add(
+                    TxnLifecycle(
+                        txn_id=f"{origin}:{seq}",
+                        scenario="collision",
+                        major=origin,
+                        minor=seq,
+                        identifier=None,
+                        begin=record.time,
+                        fate="lost",
+                    )
+                )
+                bits = record.get("bits")
+                txn.events.append(
+                    TxnEvent(
+                        record.time,
+                        "frame.tx",
+                        f"node {origin} put frame seq={seq} on the air"
+                        + (f" ({bits} bits)" if bits is not None else ""),
+                    )
+                )
+                airborne.append((record.time, txn))
+                continue
+            if record.category not in ("frame.rx", "frame.drop"):
+                continue
+            key = (int(record["origin"]), int(record["seq"]))
+            txn_opt = self.lifecycles.get(key)
+            if txn_opt is None:
+                continue
+            txn_opt.end = record.time
+            receiver = record.get("receiver")
+            if record.category == "frame.rx":
+                txn_opt.fate = "delivered"
+                delay = record.time - txn_opt.begin
+                txn_opt.events.append(
+                    TxnEvent(
+                        record.time,
+                        "frame.rx",
+                        f"delivered to node {receiver} "
+                        f"(delay {delay:.6f}s)",
+                    )
+                )
+            else:
+                reason = str(record.get("reason", "unknown"))
+                txn_opt.events.append(
+                    TxnEvent(
+                        record.time,
+                        "frame.drop",
+                        f"dropped at node {receiver} ({reason})",
+                    )
+                )
+                if reason == "rf_collision":
+                    # Name the frames sharing the air over this frame's
+                    # flight — the RF analogue of an identifier partner.
+                    concurrent = [
+                        other.txn_id
+                        for start, other in airborne
+                        if other is not txn_opt
+                        and start < record.time
+                        and (other.end is None or other.end > txn_opt.begin)
+                    ]
+                    for partner in concurrent:
+                        if partner not in txn_opt.partners:
+                            txn_opt.partners.append(partner)
+        for txn in self.lifecycles.values():
+            txn.partners.sort(key=parse_txn_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def lifecycle(self, txn_id: str) -> TxnLifecycle:
+        """The lifecycle addressed by ``txn_id``, or a helpful error."""
+        major, minor = parse_txn_id(txn_id)
+        txn = self.lifecycles.get((major, minor))
+        if txn is not None:
+            return txn
+        if self.scenario == "flow":
+            window = self.windows.get(major)
+            if window is not None and window.get("fidelity") == "flow":
+                raise ForensicsError(
+                    f"window {major} ran at flow fidelity — transactions "
+                    "there are analytic draws with no individual records; "
+                    "re-run with --fidelity frame (or hybrid) to trace them"
+                )
+        raise ForensicsError(
+            f"no transaction {major}:{minor} in this {self.scenario} trace "
+            f"({len(self.lifecycles)} transaction(s) known)"
+        )
+
+    def lost(self) -> List[str]:
+        """Ids of every transaction the trace shows as lost, sorted."""
+        return [
+            txn.txn_id
+            for _key, txn in sorted(self.lifecycles.items())
+            if txn.fate == "lost"
+        ]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def explain(self, txn_id: str) -> str:
+        """The causal chain of ``txn_id``, rendered for humans.
+
+        Deterministic text: event order is trace order, partners sort by
+        address, floats use a fixed format — pin it in tests freely.
+        """
+        txn = self.lifecycle(txn_id)
+        lines = [f"transaction {txn.txn_id} — {self.scenario} trace"]
+        if txn.identifier is not None:
+            lines.append(f"  identifier {_fmt_id(txn.identifier)}")
+        for event in txn.events:
+            lines.append(f"  {_fmt_time(event.time)}  {event.what}: {event.detail}")
+        duration = txn.duration
+        if duration is not None:
+            lines.append(f"  held the air/identifier for {duration:.6f}s")
+        lines.append(f"  outcome: {txn.fate.upper()}")
+        if txn.collided or txn.partners:
+            lines.extend(self._explain_partners(txn))
+        elif txn.fate == "lost":
+            lines.append(
+                "  no identifier partner found — the loss is not an "
+                "identifier collision (see drop reasons above)"
+            )
+        return "\n".join(lines)
+
+    def _explain_partners(self, txn: TxnLifecycle) -> List[str]:
+        lines: List[str] = []
+        if not txn.partners:
+            lines.append(
+                "  flagged as collided, but no partner is visible in this "
+                "trace (the partner may sit outside the traced horizon)"
+            )
+            return lines
+        if self.scenario == "flow":
+            where = f"in window {txn.major}"
+        elif self.scenario == "montecarlo":
+            where = "over an overlapping interval"
+        else:
+            where = "concurrently on the air"
+        if txn.identifier is not None:
+            noun = f"ephemeral identifier {_fmt_id(txn.identifier)}"
+        else:
+            noun = "the channel"
+        lines.append(f"  shared {noun} {where} with:")
+        for partner_id in txn.partners:
+            major, minor = parse_txn_id(partner_id)
+            partner = self.lifecycles.get((major, minor))
+            if partner is None:
+                lines.append(f"    {partner_id}")
+                continue
+            span = _fmt_time(partner.begin)
+            if partner.end is not None:
+                span += f" .. {_fmt_time(partner.end)}"
+            lines.append(
+                f"    transaction {partner_id} ({span}, {partner.fate})"
+            )
+        return lines
+
+
+def why(path: PathLike, txn_id: str) -> str:
+    """One-call convenience: explain ``txn_id`` from the trace at ``path``."""
+    return TraceForensics.from_trace(path).explain(txn_id)

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "LAYER_BUCKETS",
@@ -91,12 +91,16 @@ class SpanStats:
         if seconds > self.max:
             self.max = seconds
 
-    def to_json(self) -> Dict[str, float]:
+    def to_json(self) -> Dict[str, Any]:
+        # Deferred import: envelope sits above the kernel (it pulls in
+        # the exec transport); serialization is never on the hot path.
+        from .envelope import canonical_number
+
         return {
-            "count": float(self.count),
-            "total": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max,
+            "count": self.count,
+            "total": canonical_number(self.total),
+            "min": canonical_number(self.min if self.count else 0.0),
+            "max": canonical_number(self.max),
         }
 
 

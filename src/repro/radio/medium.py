@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.metrics import active_metrics
 from ..obs.spans import active_profiler
 from ..sim.engine import Simulator
 from ..sim.rng import fallback_stream
@@ -117,6 +118,9 @@ class BroadcastMedium:
         self.stats = MediumStats()
         # Observational-only span profiling, bound at construction.
         self._profiler = active_profiler()
+        # Deterministic counters (frames on the air, per-receiver fates);
+        # same construction-time binding, one None-check when off.
+        self._metrics = active_metrics()
 
     # ------------------------------------------------------------------
     # Attachment
@@ -174,6 +178,8 @@ class BroadcastMedium:
         txn = Transmission(frame=frame, start=start, end=end)
         self._active.append(txn)
         self.stats.frames_sent += 1
+        if self._metrics is not None:
+            self._metrics.inc("radio.frames_tx")
         self.recorder.emit(
             start, "frame.tx", origin=frame.origin, seq=frame.seq, bits=frame.size_bits
         )
@@ -185,6 +191,7 @@ class BroadcastMedium:
 
     def _resolve(self, txn: Transmission, audience: List[int]) -> None:
         """At end-of-frame: decide per-receiver fate and deliver."""
+        metrics = self._metrics
         for receiver in audience:
             radio = self._radios.get(receiver)
             if radio is None:
@@ -192,6 +199,8 @@ class BroadcastMedium:
                 continue
             if self.rf_collisions and self._corrupted_at(txn, receiver):
                 self.stats.rf_collision_drops += 1
+                if metrics is not None:
+                    metrics.inc("radio.rf_collisions")
                 self.recorder.emit(
                     self.sim.now,
                     "frame.drop",
@@ -203,6 +212,8 @@ class BroadcastMedium:
                 continue
             if not self.channel_for(txn.frame.origin, receiver).deliver(self.rng):
                 self.stats.channel_drops += 1
+                if metrics is not None:
+                    metrics.inc("radio.channel_drops")
                 self.recorder.emit(
                     self.sim.now,
                     "frame.drop",
@@ -213,6 +224,8 @@ class BroadcastMedium:
                 )
                 continue
             self.stats.deliveries += 1
+            if metrics is not None:
+                metrics.inc("radio.frames_rx")
             self.recorder.emit(
                 self.sim.now,
                 "frame.rx",

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from ..analysis.sanitizer.runtime import active_sanitizer
+from ..obs.metrics import active_metrics
 from ..obs.spans import active_profiler, layer_of_module
 
 __all__ = [
@@ -123,6 +124,10 @@ class Simulator:
         # The determinism sanitizer is likewise bound at construction;
         # when inactive, scheduling pays one None-check per event.
         self._sanitizer = active_sanitizer()
+        # Deterministic metrics, same binding discipline: counts are
+        # simulated facts (events fired, queue high-watermark), so they
+        # are bit-identical run to run — unlike the profiler's times.
+        self._metrics = active_metrics()
 
     # ------------------------------------------------------------------
     # Clock
@@ -168,6 +173,8 @@ class Simulator:
             tie = san.tie_rank(handle.time, seq)
         entry = _QueueEntry(time=handle.time, tie=tie, seq=seq, handle=handle)
         heapq.heappush(self._queue, entry)
+        if self._metrics is not None:
+            self._metrics.gauge_max("engine.queue_depth", len(self._queue))
         return handle
 
     def schedule_at(
@@ -201,6 +208,8 @@ class Simulator:
             self._now = entry.time
             handle.cancelled = True  # mark as fired; no longer cancellable
             self._events_processed += 1
+            if self._metrics is not None:
+                self._metrics.inc("engine.events")
             prof = self._profiler
             if prof is None:
                 handle.callback(*handle.args)

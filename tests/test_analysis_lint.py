@@ -388,6 +388,85 @@ class TestObservabilityRules:
         )
         assert findings == []
 
+    def test_obs002_flags_computed_metric_name(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(metrics, layer):\n"
+            "    metrics.inc('events.' + layer)\n",
+        )
+        assert rule_ids(findings) == ["OBS002"]
+        assert findings[0].line == 2
+
+    def test_obs002_flags_computed_gauge_name(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(metrics, name, depth):\n"
+            "    metrics.gauge_max(name, depth)\n",
+        )
+        assert rule_ids(findings) == ["OBS002"]
+
+    def test_obs002_flags_runtime_histogram_edges(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(metrics, widths):\n"
+            "    metrics.observe('aff.bits', 8, tuple(widths))\n",
+        )
+        assert rule_ids(findings) == ["OBS002"]
+
+    def test_obs002_flags_edges_list_literal(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(metrics):\n"
+            "    metrics.observe('aff.bits', 8, edges=[4, 8, 16])\n",
+        )
+        assert rule_ids(findings) == ["OBS002"]
+
+    def test_obs002_allows_literal_name_and_inline_tuple(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(metrics):\n"
+            "    metrics.inc('radio.frames_tx')\n"
+            "    metrics.inc('exec.retries', 2)\n"
+            "    metrics.gauge_max('engine.queue_depth', 17)\n"
+            "    metrics.observe('aff.bits', 8, (4, 8, 12, 16))\n",
+        )
+        assert findings == []
+
+    def test_obs002_allows_module_constant_edges(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "EDGES = (4, 8, 12, 16)\n"
+            "def run(metrics, bits):\n"
+            "    metrics.observe('aff.bits', bits, EDGES)\n",
+        )
+        assert findings == []
+
+    def test_obs002_flags_unknown_edges_name(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(metrics, edges):\n"
+            "    metrics.observe('aff.bits', 8, edges)\n",
+        )
+        assert rule_ids(findings) == ["OBS002"]
+
+    def test_obs002_ignores_selector_observe(self, tmp_path):
+        # IdentifierSelector.observe(identifier) shares the method name
+        # but not the histogram shape; it must not be flagged.
+        findings = lint_source(
+            tmp_path,
+            "def run(selector, identifier):\n"
+            "    selector.observe(identifier)\n",
+        )
+        assert findings == []
+
+    def test_obs002_inline_suppression(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "def run(metrics, name):\n"
+            "    metrics.inc(name)  # lint: ignore[OBS002]\n",
+        )
+        assert findings == []
+
 
 # ----------------------------------------------------------------------
 # Rule pack 8: flow-fidelity sampling hygiene
@@ -628,6 +707,7 @@ class TestShippedTree:
             "RNG001",
             "RNG002",
             "OBS001",
+            "OBS002",
             "FLOW001",
         } <= ids
 

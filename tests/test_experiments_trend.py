@@ -7,6 +7,7 @@ import pytest
 from repro.experiments.persistence import save_envelope
 from repro.experiments.trend import (
     analyze,
+    counters_of,
     layers_of,
     load_history,
     record_snapshot,
@@ -16,7 +17,7 @@ from repro.experiments.trend import (
 
 
 def write_bench(results_dir, name, *, timing_mean=None, wall_time=None,
-                full=False, telemetry=None):
+                full=False, telemetry=None, counters=None):
     payload = {
         "name": name,
         "fidelity": {"full": full},
@@ -28,6 +29,8 @@ def write_bench(results_dir, name, *, timing_mean=None, wall_time=None,
         payload["timing"] = {"mean": timing_mean, "rounds": 3}
     if telemetry is not None:
         payload["metrics"]["telemetry"] = telemetry
+    if counters is not None:
+        payload["metrics"]["counters"] = counters
     save_envelope(results_dir / f"BENCH_{name}.json", "benchmark", payload)
 
 
@@ -90,6 +93,29 @@ class TestLayersOf:
         assert layers_of(all_zero) is None
 
 
+class TestCountersOf:
+    def test_extracts_integer_counters(self):
+        payload = {
+            "metrics": {
+                "counters": {
+                    "flow.collisions": 42,
+                    "aff.checksum_failures": 0,
+                    "not_an_int": 1.5,
+                    "not_a_count": True,
+                }
+            }
+        }
+        assert counters_of(payload) == {
+            "flow.collisions": 42,
+            "aff.checksum_failures": 0,
+        }
+
+    def test_none_without_counters(self):
+        assert counters_of({"metrics": {}}) is None
+        assert counters_of({}) is None
+        assert counters_of({"metrics": {"counters": {"x": "nope"}}}) is None
+
+
 class TestRecordSnapshot:
     def test_appends_with_increasing_run_index(self, tmp_path):
         write_bench(tmp_path, "alpha", timing_mean=1.0)
@@ -129,6 +155,13 @@ class TestRecordSnapshot:
         assert record_snapshot(tmp_path) == 1
         (entry,) = load_history(tmp_path / "TREND.jsonl")
         assert entry["layers"] == {"engine": 0.2, "radio": 0.512346}
+
+    def test_snapshot_carries_counters(self, tmp_path):
+        write_bench(tmp_path, "counted", wall_time=2.0,
+                    counters={"flow.collisions": 7})
+        assert record_snapshot(tmp_path) == 1
+        (entry,) = load_history(tmp_path / "TREND.jsonl")
+        assert entry["counters"] == {"flow.collisions": 7}
 
     def test_skips_untimed_and_corrupt_envelopes(self, tmp_path):
         write_bench(tmp_path, "untimed")
@@ -221,3 +254,23 @@ class TestAnalyze:
         # Top-3 nonzero layers, hottest first; zero buckets stay out.
         assert "[radio 0.500s, engine 0.200s, aff 0.100s]" in rendered
         assert "mac" not in rendered
+
+    def test_counter_drift_surfaces_in_findings(self):
+        history = [
+            dict(self.entry(1, "a", 1.0),
+                 counters={"flow.collisions": 10, "flow.windows": 4}),
+            dict(self.entry(2, "a", 1.0),
+                 counters={"flow.collisions": 12, "flow.windows": 4}),
+        ]
+        (finding,) = analyze(history).findings
+        assert finding.counter_drift == {"flow.collisions": (10, 12)}
+        assert "{flow.collisions 10->12}" in finding.render()
+
+    def test_stable_counters_render_plain(self):
+        history = [
+            dict(self.entry(1, "a", 1.0), counters={"flow.collisions": 10}),
+            dict(self.entry(2, "a", 1.0), counters={"flow.collisions": 10}),
+        ]
+        (finding,) = analyze(history).findings
+        assert finding.counter_drift is None
+        assert "->" not in finding.render()
